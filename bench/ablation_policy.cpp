@@ -1,0 +1,71 @@
+// Ablation A6 — retry policy: the paper's fixed Mixed-N coin vs the adaptive
+// contention manager (§2.3 leaves the mechanism open). Sweep the injected
+// abort pressure and compare throughput plus wasted hardware attempts.
+//
+// Expected shape: at low pressure, adaptive ≈ Mixed-0 (plenty of hardware
+// retries, none wasted); at high pressure, adaptive ≈ Mixed-100 (immediate
+// fallback) while Mixed-10 burns ~10 hardware attempts per transaction.
+
+#include "bench_common.h"
+
+namespace rhtm::bench {
+namespace {
+
+struct PolicyPoint {
+  const char* name;
+  std::uint64_t ops;
+  double fast_attempts_per_op;
+};
+
+void run(const Options& opt) {
+  constexpr unsigned kThreads = 4;
+  std::printf("# Ablation A6 - retry policy vs abort pressure "
+              "(counter array, %u threads, sim)\n",
+              kThreads);
+  std::printf("%-12s %-10s %14s %18s\n", "inject", "policy", "total_ops", "fast_tries/op");
+
+  for (const std::uint32_t inject_bp : {0u, 1000u, 5000u, 10000u}) {
+    const auto run_policy = [&](const char* name, auto configure) {
+      TmUniverse<HtmSim> u;
+      std::vector<TVar<TmWord>> cells(256);
+      typename HybridTm<HtmSim>::Config cfg;
+      cfg.inject_abort_bp = inject_bp;
+      configure(cfg);
+      HybridTm<HtmSim> tm(u, cfg);
+      const ThroughputResult r = run_throughput(
+          tm, kThreads, opt.seconds * 2, [&](auto& m, auto& ctx, Xoshiro256& rng, unsigned) {
+            auto& cell = cells[rng.below(cells.size())];
+            m.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + 1); });
+          });
+      const double tries =
+          r.total_ops > 0
+              ? static_cast<double>(
+                    r.stats.attempts_by_path[static_cast<std::size_t>(ExecPath::kRh1Fast)]) /
+                    static_cast<double>(r.total_ops)
+              : 0.0;
+      std::printf("%-12u %-10s %14llu %18.2f\n", inject_bp, name,
+                  static_cast<unsigned long long>(r.total_ops), tries);
+    };
+
+    if (inject_bp < 10000) {
+      // Mixed-0 never falls back: at 100% injection it would retry in
+      // hardware forever — the degenerate case the fallback exists for.
+      run_policy("mixed-0", [](auto& cfg) { cfg.slow_retry_percent = 0; });
+    } else {
+      std::printf("%-12u %-10s %14s %18s\n", inject_bp, "mixed-0", "(livelock)", "-");
+    }
+    run_policy("mixed-10", [](auto& cfg) { cfg.slow_retry_percent = 10; });
+    run_policy("mixed-100", [](auto& cfg) { cfg.slow_retry_percent = 100; });
+    run_policy("adaptive", [](auto& cfg) {
+      cfg.retry_policy = HybridTm<HtmSim>::RetryPolicy::kAdaptive;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace rhtm::bench
+
+int main(int argc, char** argv) {
+  rhtm::bench::run(rhtm::bench::Options::parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation A4 — RH2 visible-read publication: the paper argues for
+// fetch-and-add over a CAS loop (§4.1). Forced-RH2 commits over a shared
+// array, both mask RMW flavours, simulated substrate.
+
+#include "bench_common.h"
+#include "workloads/random_array.h"
+
+namespace rhtm::bench {
+namespace {
+
+void run(const Options& opt) {
+  std::printf("# Ablation A4 - RH2 read-mask publication: fetch-add vs CAS loop (sim)\n");
+  std::printf("%-10s %-8s %14s %12s\n", "mask_rmw", "threads", "total_ops", "abort_ratio");
+
+  for (const MaskRmw mode : {MaskRmw::kFetchAdd, MaskRmw::kCasLoop}) {
+    for (const unsigned threads : {1u, 4u, 8u}) {
+      UniverseConfig ucfg;
+      ucfg.stripe.mask_rmw = mode;
+      TmUniverse<HtmSim> universe(ucfg);
+      RandomArray array(16 * 1024);
+      SimHybridTm::Config cfg;
+      cfg.force_rh2 = true;
+      cfg.inject_abort_bp = 10000;  // every op through the RH2 slow commit
+      SimHybridTm tm(universe, cfg);
+
+      const ThroughputResult r =
+          run_throughput(tm, threads, opt.seconds * 2,
+                         [&](auto& m, auto& ctx, Xoshiro256& rng, unsigned) {
+                           m.atomically(ctx, [&](auto& tx) {
+                             do_not_optimize(array.op(tx, rng, 32, 25));
+                           });
+                         });
+      std::printf("%-10s %-8u %14llu %12.3f\n", to_string(mode), threads,
+                  static_cast<unsigned long long>(r.total_ops), r.abort_ratio());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rhtm::bench
+
+int main(int argc, char** argv) {
+  rhtm::bench::run(rhtm::bench::Options::parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation A2 — stripe-table geometry: fewer stripes and coarser granules
+// alias more addresses onto the same version word, producing false conflicts
+// for the software paths. TL2 over a write-heavy random array, simulated
+// substrate.
+
+#include "bench_common.h"
+#include "workloads/random_array.h"
+
+namespace rhtm::bench {
+namespace {
+
+void run(const Options& opt) {
+  const unsigned threads = 4;
+  std::printf("# Ablation A2 - stripe geometry (TL2, random array 64K, %u threads, sim)\n",
+              threads);
+  std::printf("%-12s %-6s %14s %12s\n", "log2_stripes", "gran", "total_ops", "abort_ratio");
+
+  for (const unsigned log2_count : {10u, 14u, 18u}) {
+    for (const unsigned gran : {3u, 5u, 8u}) {
+      UniverseConfig ucfg;
+      ucfg.stripe.log2_count = log2_count;
+      ucfg.stripe.granularity_log2 = gran;
+      TmUniverse<HtmSim> universe(ucfg);
+      RandomArray array(64 * 1024);
+      SimTl2 tm(universe);
+
+      const ThroughputResult r =
+          run_throughput(tm, threads, opt.seconds * 2,
+                         [&](auto& m, auto& ctx, Xoshiro256& rng, unsigned) {
+                           m.atomically(ctx, [&](auto& tx) {
+                             do_not_optimize(array.op(tx, rng, 32, 50));
+                           });
+                         });
+      std::printf("%-12u %-6u %14llu %12.3f\n", log2_count, gran,
+                  static_cast<unsigned long long>(r.total_ops), r.abort_ratio());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rhtm::bench
+
+int main(int argc, char** argv) {
+  rhtm::bench::run(rhtm::bench::Options::parse(argc, argv));
+  return 0;
+}

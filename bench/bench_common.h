@@ -1,0 +1,224 @@
+#pragma once
+
+// Shared infrastructure for the figure-reproduction benches.
+//
+// Defaults follow the paper's methodology (§3): the *emulated* substrate
+// (plain-access HTM), constant workloads, thread sweep 1..20, and abort
+// ratios measured from a TL2 run of the same configuration injected into
+// every hardware-mode series. Every knob can be overridden:
+//
+//   --seconds=<double>      per measurement point            (default 0.08)
+//   --threads=<a,b,c>       thread counts                    (default 1,2,4,...,20)
+//   --substrate=emul|sim    HTM substrate                    (default emul)
+//   --full                  paper-scale sizes + longer runs
+//
+// Output is a whitespace-separated table per figure: column 1 = threads,
+// one column per series, values = total operations completed (the paper's
+// y-axis). Comment lines (#) carry context: injected ratios, substrate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rhtm.h"
+#include "workloads/driver.h"
+
+namespace rhtm::bench {
+
+/// Keeps a computed value alive past the optimiser (read sinks).
+template <class T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+struct Options {
+  double seconds = 0.08;
+  double calib_seconds = 0.06;
+  std::vector<unsigned> threads = {1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
+  bool use_sim = false;
+  bool full = false;
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--seconds=", 0) == 0) {
+        opt.seconds = std::atof(arg.c_str() + 10);
+        opt.calib_seconds = opt.seconds;
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        opt.threads.clear();
+        const char* p = arg.c_str() + 10;
+        while (*p != '\0') {
+          opt.threads.push_back(static_cast<unsigned>(std::strtoul(p, nullptr, 10)));
+          while (*p != '\0' && *p != ',') ++p;
+          if (*p == ',') ++p;
+        }
+      } else if (arg == "--substrate=sim") {
+        opt.use_sim = true;
+      } else if (arg == "--substrate=emul") {
+        opt.use_sim = false;
+      } else if (arg == "--full") {
+        opt.full = true;
+        opt.seconds = 1.0;
+        opt.calib_seconds = 0.5;
+      } else if (arg == "--help") {
+        std::printf("usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim] [--full]\n",
+                    argv[0]);
+        std::exit(0);
+      }
+    }
+    return opt;
+  }
+
+  [[nodiscard]] const char* substrate_name() const { return use_sim ? "sim" : "emul"; }
+};
+
+/// One measured point of one series.
+struct Point {
+  std::uint64_t total_ops = 0;
+  double abort_ratio = 0;
+};
+
+/// Collected series, printed paper-style.
+class Table {
+ public:
+  Table(std::string title, std::vector<unsigned> threads)
+      : title_(std::move(title)), threads_(std::move(threads)) {}
+
+  void add_series(std::string series_name) { names_.push_back(std::move(series_name)); }
+
+  void add_point(std::size_t series, Point p) {
+    if (points_.size() <= series) points_.resize(series + 1);
+    points_[series].push_back(p);
+  }
+
+  void print() const {
+    std::printf("# %s\n", title_.c_str());
+    std::printf("%-8s", "threads");
+    for (const auto& name : names_) std::printf(" %14s", name.c_str());
+    std::printf("\n");
+    for (std::size_t row = 0; row < threads_.size(); ++row) {
+      std::printf("%-8u", threads_[row]);
+      for (const auto& series : points_) {
+        if (row < series.size()) std::printf(" %14llu",
+                                             static_cast<unsigned long long>(series[row].total_ops));
+      }
+      std::printf("\n");
+    }
+    std::printf("# abort ratios:\n");
+    for (std::size_t s = 0; s < names_.size(); ++s) {
+      std::printf("#   %-14s", names_[s].c_str());
+      for (const auto& p : points_[s]) std::printf(" %5.2f", p.abort_ratio);
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<unsigned> threads_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<Point>> points_;
+};
+
+/// The protocol series of the paper's figures.
+enum class Series {
+  kHtm,        ///< "HTM": uninstrumented hardware upper bound
+  kStdHytm,    ///< "Standard HyTM": instrumented reads+writes, hardware-only
+  kTl2,        ///< "TL2": the software baseline (also the calibration run)
+  kRh1Fast,    ///< "RH1 Fast": RH1 fast path only, hardware retries
+  kRh1Mix10,   ///< "RH1 Mixed 10": 10% of aborts retried on the slow path
+  kRh1Mix100,  ///< "RH1 Mixed 100": every abort retried on the slow path
+};
+
+[[nodiscard]] inline const char* to_string(Series s) {
+  switch (s) {
+    case Series::kHtm: return "HTM";
+    case Series::kStdHytm: return "StandardHyTM";
+    case Series::kTl2: return "TL2";
+    case Series::kRh1Fast: return "RH1-Fast";
+    case Series::kRh1Mix10: return "RH1-Mix10";
+    case Series::kRh1Mix100: return "RH1-Mix100";
+  }
+  return "?";
+}
+
+/// Runs one series point: constructs the protocol over `universe` with the
+/// paper's configuration for that series and drives `op` on `threads`
+/// threads for `seconds`. `inject_bp` is the TL2-calibrated abort ratio.
+///
+/// `op(tm, ctx, rng, tid)` must execute exactly one transaction.
+template <class H, class OpFactory>
+Point run_series_point(TmUniverse<H>& universe, Series series, unsigned threads, double seconds,
+                       std::uint32_t inject_bp, OpFactory&& op) {
+  ThroughputResult result;
+  switch (series) {
+    case Series::kHtm: {
+      typename HtmOnly<H>::Config cfg;
+      cfg.inject_abort_bp = inject_bp;
+      HtmOnly<H> tm(universe, cfg);
+      result = run_throughput(tm, threads, seconds, op);
+      break;
+    }
+    case Series::kStdHytm: {
+      typename StandardHytm<H>::Config cfg;
+      cfg.hardware_only = true;  // the paper's best-case Standard HyTM
+      cfg.inject_abort_bp = inject_bp;
+      StandardHytm<H> tm(universe, cfg);
+      result = run_throughput(tm, threads, seconds, op);
+      break;
+    }
+    case Series::kTl2: {
+      Tl2<H> tm(universe);
+      result = run_throughput(tm, threads, seconds, op);
+      break;
+    }
+    case Series::kRh1Fast:
+    case Series::kRh1Mix10:
+    case Series::kRh1Mix100: {
+      typename HybridTm<H>::Config cfg;
+      cfg.inject_abort_bp = inject_bp;
+      cfg.slow_retry_percent =
+          series == Series::kRh1Fast ? 0 : (series == Series::kRh1Mix10 ? 10 : 100);
+      HybridTm<H> tm(universe, cfg);
+      result = run_throughput(tm, threads, seconds, op);
+      break;
+    }
+  }
+  return {result.total_ops, result.abort_ratio()};
+}
+
+/// Paper §3.1 calibration: TL2 abort ratio for this workload at this thread
+/// count, converted to injection basis points.
+template <class H, class OpFactory>
+[[nodiscard]] std::pair<std::uint32_t, Point> calibrate_tl2(TmUniverse<H>& universe,
+                                                            unsigned threads, double seconds,
+                                                            OpFactory&& op) {
+  Tl2<H> tl2(universe);
+  const ThroughputResult r = run_throughput(tl2, threads, seconds, op);
+  const double ratio = r.abort_ratio();
+  return {AbortInjector::from_ratio(ratio).rate_bp(), Point{r.total_ops, ratio}};
+}
+
+/// Standard figure loop: for each thread count, calibrate on TL2 once, then
+/// run every series with the calibrated injection. The TL2 point itself is
+/// reused from the calibration run (it *is* the TL2 series).
+template <class H, class OpFactory>
+void run_figure(TmUniverse<H>& universe, Table& table, const std::vector<Series>& series_list,
+                const Options& opt, OpFactory&& op) {
+  for (const Series s : series_list) table.add_series(to_string(s));
+  for (const unsigned threads : opt.threads) {
+    const auto [inject_bp, tl2_point] = calibrate_tl2(universe, threads, opt.calib_seconds, op);
+    for (std::size_t i = 0; i < series_list.size(); ++i) {
+      if (series_list[i] == Series::kTl2) {
+        table.add_point(i, tl2_point);
+        continue;
+      }
+      table.add_point(i, run_series_point(universe, series_list[i], threads, opt.seconds,
+                                          inject_bp, op));
+    }
+  }
+}
+
+}  // namespace rhtm::bench

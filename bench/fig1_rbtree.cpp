@@ -1,0 +1,52 @@
+// Figure 1 — 100K-node Constant Red-Black Tree, 20% mutations, threads 1..20.
+// Series: HTM, Standard HyTM, TL2, RH1 Fast (hardware retries only).
+//
+// The paper's headline figure: instrumenting the reads of the hardware
+// transactions (Standard HyTM) collapses the HTM advantage from ~5-6× over
+// TL2 to ~2×; RH1's uninstrumented reads preserve it.
+
+#include "bench_common.h"
+#include "workloads/constant_rbtree.h"
+
+namespace rhtm::bench {
+namespace {
+
+template <class H>
+void run(const Options& opt) {
+  const std::size_t nodes = 100'000;
+  ConstantRbTree tree(nodes);
+  constexpr unsigned kWritePercent = 20;
+
+  TmUniverse<H> universe;
+  Table table("Figure 1 - 100K Nodes Constant RB-Tree, 20% mutations (substrate=" +
+                  std::string(opt.substrate_name()) + ", total ops per point)",
+              opt.threads);
+
+  auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
+    const std::uint64_t key = rng.below(2 * nodes);
+    if (rng.percent_chance(kWritePercent)) {
+      tm.atomically(ctx, [&](auto& tx) { (void)tree.update(tx, key, rng.next_u64(), rng); });
+    } else {
+      TmWord sink = 0;
+      tm.atomically(ctx, [&](auto& tx) { (void)tree.lookup(tx, key, &sink); });
+      do_not_optimize(sink);
+    }
+  };
+
+  run_figure(universe, table,
+             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast}, opt, op);
+  table.print();
+}
+
+}  // namespace
+}  // namespace rhtm::bench
+
+int main(int argc, char** argv) {
+  const auto opt = rhtm::bench::Options::parse(argc, argv);
+  if (opt.use_sim) {
+    rhtm::bench::run<rhtm::HtmSim>(opt);
+  } else {
+    rhtm::bench::run<rhtm::HtmEmul>(opt);
+  }
+  return 0;
+}

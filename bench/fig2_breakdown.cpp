@@ -1,0 +1,169 @@
+// Figure 2 (middle + bottom) — single-thread speedup (normalised to TL2) and
+// single-thread performance breakdown for the 100K-node constant RB-tree at
+// 20% and 80% mutations.
+//
+// Breakdown semantics follow the paper's table: "Read/Write Time" is time in
+// the read/write *barrier* — a path with no barrier (HTM reads and writes,
+// RH1-fast reads) reports zero by construction and its memory accesses count
+// as Private time. Commit time includes transaction begin/commit machinery;
+// InterTX is everything between transactions (key selection, RNG, loop).
+
+#include <array>
+
+#include "bench_common.h"
+#include "workloads/constant_rbtree.h"
+#include "workloads/timed_handle.h"
+
+namespace rhtm::bench {
+namespace {
+
+struct Row {
+  const char* name;
+  BreakdownResult breakdown;
+  double plain_ops_per_sec = 0;  ///< untimed run — rdtsc wrapping inflates
+                                 ///< barrier paths, so speedups use this
+};
+
+/// One transaction of the RB-tree workload through a TimedHandle with the
+/// read/write timing flags of the series.
+template <bool kTimeReads, bool kTimeWrites, class Tm, class Ctx>
+void one_op(Tm& tm, Ctx& ctx, Xoshiro256& rng, TxStats& stats, std::uint64_t& body_cycles,
+            ConstantRbTree& tree, unsigned write_percent) {
+  const std::uint64_t key = rng.below(2 * tree.size());
+  const bool is_write = rng.percent_chance(write_percent);
+  tm.atomically(ctx, [&](auto& tx) {
+    const std::uint64_t t0 = rdtsc();
+    TimedHandle<std::decay_t<decltype(tx)>, kTimeReads, kTimeWrites> timed(tx, stats);
+    if (is_write) {
+      (void)tree.update(timed, key, rng.next_u64(), rng);
+    } else {
+      TmWord sink = 0;
+      (void)tree.lookup(timed, key, &sink);
+      do_not_optimize(sink);
+    }
+    body_cycles += rdtsc() - t0;
+  });
+}
+
+template <class H>
+void run_breakdowns(const Options& opt, ConstantRbTree& tree, unsigned write_percent) {
+  TmUniverse<H> universe;
+  const double secs = opt.seconds * 2;  // single point per series; can afford more
+
+  // Untimed single-thread throughput (for the speedup column).
+  const auto plain_run = [&](auto& tm) {
+    const ThroughputResult r = run_throughput(
+        tm, 1, secs, [&](auto& m, auto& ctx, Xoshiro256& rng, unsigned) {
+          const std::uint64_t key = rng.below(2 * tree.size());
+          if (rng.percent_chance(write_percent)) {
+            m.atomically(ctx, [&](auto& tx) { (void)tree.update(tx, key, rng.next_u64(), rng); });
+          } else {
+            TmWord sink = 0;
+            m.atomically(ctx, [&](auto& tx) { (void)tree.lookup(tx, key, &sink); });
+            do_not_optimize(sink);
+          }
+        });
+    return r.seconds > 0 ? static_cast<double>(r.total_ops) / r.seconds : 0.0;
+  };
+
+  std::array<Row, 5> rows{};
+  std::size_t n = 0;
+
+  {  // RH1 Slow — the mixed slow-path only (software body, HTM commit)
+    typename HybridTm<H>::Config cfg;
+    cfg.force_slow_path = true;
+    HybridTm<H> tm(universe, cfg);
+    rows[n++] = {"RH1-Slow",
+                 run_breakdown(tm, secs,
+                               [&](auto& m, auto& ctx, Xoshiro256& rng, TxStats& stats,
+                                   std::uint64_t& body) {
+                                 one_op<true, true>(m, ctx, rng, stats, body, tree, write_percent);
+                               }),
+                 plain_run(tm)};
+  }
+  {  // TL2
+    Tl2<H> tm(universe);
+    rows[n++] = {"TL2",
+                 run_breakdown(tm, secs,
+                               [&](auto& m, auto& ctx, Xoshiro256& rng, TxStats& stats,
+                                   std::uint64_t& body) {
+                                 one_op<true, true>(m, ctx, rng, stats, body, tree, write_percent);
+                               }),
+                 plain_run(tm)};
+  }
+  {  // Standard HyTM (hardware only) — barriers on reads and writes
+    typename StandardHytm<H>::Config cfg;
+    cfg.hardware_only = true;
+    StandardHytm<H> tm(universe, cfg);
+    rows[n++] = {"StandardHyTM",
+                 run_breakdown(tm, secs,
+                               [&](auto& m, auto& ctx, Xoshiro256& rng, TxStats& stats,
+                                   std::uint64_t& body) {
+                                 one_op<true, true>(m, ctx, rng, stats, body, tree, write_percent);
+                               }),
+                 plain_run(tm)};
+  }
+  {  // RH1 Fast — write barrier only (version store); reads uninstrumented
+    typename HybridTm<H>::Config cfg;
+    cfg.slow_retry_percent = 0;
+    HybridTm<H> tm(universe, cfg);
+    rows[n++] = {"RH1-Fast",
+                 run_breakdown(tm, secs,
+                               [&](auto& m, auto& ctx, Xoshiro256& rng, TxStats& stats,
+                                   std::uint64_t& body) {
+                                 one_op<false, true>(m, ctx, rng, stats, body, tree,
+                                                     write_percent);
+                               }),
+                 plain_run(tm)};
+  }
+  {  // HTM — no barriers at all
+    HtmOnly<H> tm(universe);
+    rows[n++] = {"HTM",
+                 run_breakdown(tm, secs,
+                               [&](auto& m, auto& ctx, Xoshiro256& rng, TxStats& stats,
+                                   std::uint64_t& body) {
+                                 one_op<false, false>(m, ctx, rng, stats, body, tree,
+                                                      write_percent);
+                               }),
+                 plain_run(tm)};
+  }
+
+  const double tl2_ops = rows[1].plain_ops_per_sec;
+
+  std::printf("# Figure 2 - single-thread breakdown, RB-Tree %u%% mutations (substrate=%s)\n",
+              write_percent, opt.substrate_name());
+  std::printf("%-14s %8s %8s %8s %9s %9s | %10s %10s %8s %8s %12s\n", "series", "read%",
+              "write%", "commit%", "private%", "intertx%", "reads", "writes", "aborts",
+              "commits", "speedup/TL2");
+  for (std::size_t i = 0; i < n; ++i) {
+    const BreakdownResult& b = rows[i].breakdown;
+    std::printf("%-14s %8.2f %8.2f %8.2f %9.2f %9.2f | %10llu %10llu %8llu %8llu %12.2f\n",
+                rows[i].name, b.read_pct, b.write_pct, b.commit_pct, b.private_pct, b.intertx_pct,
+                static_cast<unsigned long long>(b.reads),
+                static_cast<unsigned long long>(b.writes),
+                static_cast<unsigned long long>(b.aborts),
+                static_cast<unsigned long long>(b.commits),
+                tl2_ops > 0 ? rows[i].plain_ops_per_sec / tl2_ops : 0.0);
+  }
+  std::printf("\n");
+}
+
+template <class H>
+void run(const Options& opt) {
+  ConstantRbTree tree(100'000);
+  run_breakdowns<H>(opt, tree, 20);
+  run_breakdowns<H>(opt, tree, 80);
+}
+
+}  // namespace
+}  // namespace rhtm::bench
+
+int main(int argc, char** argv) {
+  const auto opt = rhtm::bench::Options::parse(argc, argv);
+  if (opt.use_sim) {
+    rhtm::bench::run<rhtm::HtmSim>(opt);
+  } else {
+    rhtm::bench::run<rhtm::HtmEmul>(opt);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 2 (top) — 100K-node Constant Red-Black Tree at 20% and 80%
+// mutations, adding the mixed-mode RH1 variants: RH1 Mixed 10 / Mixed 100
+// retry 10% / 100% of aborted fast transactions on the software slow-path.
+//
+// Paper shape: at 20% writes the abort ratio is low (~5%) so the slow-path
+// penalty is invisible; at 80% writes (~40% aborts) Mixed 100 pays a visible
+// penalty yet still edges out the best-case Standard HyTM.
+
+#include "bench_common.h"
+#include "workloads/constant_rbtree.h"
+
+namespace rhtm::bench {
+namespace {
+
+template <class H>
+void run_mix(const Options& opt, ConstantRbTree& tree, unsigned write_percent) {
+  TmUniverse<H> universe;
+  Table table("Figure 2 - 100K Nodes Constant RB-Tree, " + std::to_string(write_percent) +
+                  "% mutations (substrate=" + std::string(opt.substrate_name()) + ")",
+              opt.threads);
+
+  const std::size_t nodes = tree.size();
+  auto op = [&, write_percent](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
+    const std::uint64_t key = rng.below(2 * nodes);
+    if (rng.percent_chance(write_percent)) {
+      tm.atomically(ctx, [&](auto& tx) { (void)tree.update(tx, key, rng.next_u64(), rng); });
+    } else {
+      TmWord sink = 0;
+      tm.atomically(ctx, [&](auto& tx) { (void)tree.lookup(tx, key, &sink); });
+      do_not_optimize(sink);
+    }
+  };
+
+  run_figure(universe, table,
+             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast, Series::kRh1Mix10,
+              Series::kRh1Mix100},
+             opt, op);
+  table.print();
+  std::printf("\n");
+}
+
+template <class H>
+void run(const Options& opt) {
+  ConstantRbTree tree(100'000);
+  run_mix<H>(opt, tree, 20);  // Fig. 2 top-left
+  run_mix<H>(opt, tree, 80);  // Fig. 2 top-right
+}
+
+}  // namespace
+}  // namespace rhtm::bench
+
+int main(int argc, char** argv) {
+  const auto opt = rhtm::bench::Options::parse(argc, argv);
+  if (opt.use_sim) {
+    rhtm::bench::run<rhtm::HtmSim>(opt);
+  } else {
+    rhtm::bench::run<rhtm::HtmEmul>(opt);
+  }
+  return 0;
+}

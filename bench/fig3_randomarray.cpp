@@ -1,0 +1,66 @@
+// Figure 3 (right) — 128K Random Array: speedup of RH1 Fast over Standard
+// HyTM at 20 threads, for transaction lengths {400, 200, 100, 40} and write
+// percentages {0, 20, 50, 90}.
+//
+// Paper shape: the speedup decreases as the write fraction grows (RH1's
+// writes are instrumented too) but stays ≥ ~1.3× even at 90% writes for
+// long transactions, because Standard HyTM additionally *reads* metadata on
+// every access, generating far more coherence traffic.
+
+#include "bench_common.h"
+#include "workloads/random_array.h"
+
+namespace rhtm::bench {
+namespace {
+
+constexpr unsigned kLengths[] = {400, 200, 100, 40};
+constexpr unsigned kWritePercents[] = {0, 20, 50, 90};
+
+template <class H>
+void run(const Options& opt) {
+  RandomArray array(128 * 1024);
+  const unsigned threads = opt.threads.empty() ? 20 : opt.threads.back();
+
+  TmUniverse<H> universe;
+  std::printf("# Figure 3 right - 128K Random Array, RH1-Fast speedup vs Standard HyTM, "
+              "%u threads (substrate=%s)\n",
+              threads, opt.substrate_name());
+  std::printf("%-8s", "writes%");
+  for (const unsigned len : kLengths) std::printf(" %10s%u", "len", len);
+  std::printf("\n");
+
+  for (const unsigned write_pct : kWritePercents) {
+    std::printf("%-8u", write_pct);
+    for (const unsigned len : kLengths) {
+      auto op = [&array, len, write_pct](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
+        tm.atomically(ctx, [&](auto& tx) { do_not_optimize(array.op(tx, rng, len, write_pct)); });
+      };
+      const auto [inject_bp, tl2_point] =
+          calibrate_tl2(universe, threads, opt.calib_seconds, op);
+      (void)tl2_point;
+      const Point rh1 =
+          run_series_point(universe, Series::kRh1Fast, threads, opt.seconds, inject_bp, op);
+      const Point hytm =
+          run_series_point(universe, Series::kStdHytm, threads, opt.seconds, inject_bp, op);
+      const double speedup = hytm.total_ops > 0
+                                 ? static_cast<double>(rh1.total_ops) /
+                                       static_cast<double>(hytm.total_ops)
+                                 : 0.0;
+      std::printf(" %13.2f", speedup);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace rhtm::bench
+
+int main(int argc, char** argv) {
+  const auto opt = rhtm::bench::Options::parse(argc, argv);
+  if (opt.use_sim) {
+    rhtm::bench::run<rhtm::HtmSim>(opt);
+  } else {
+    rhtm::bench::run<rhtm::HtmEmul>(opt);
+  }
+  return 0;
+}

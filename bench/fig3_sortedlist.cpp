@@ -1,0 +1,55 @@
+// Figure 3 (middle) — 1K-node Constant Sorted List, 5% mutations, threads
+// 1..20. Series: HTM, Standard HyTM, TL2, RH1 Fast, RH1 Mixed 10/100.
+//
+// The heavy-contention case: long linear scans share the list prefix, abort
+// ratios reach ~50% at 20 threads. HTM is ~4× TL2; Standard HyTM collapses
+// to ~1.5×; RH1 Fast preserves the speedup; the Mixed variants degrade at
+// high thread counts as software-mode retries pile up.
+
+#include "bench_common.h"
+#include "workloads/constant_sortedlist.h"
+
+namespace rhtm::bench {
+namespace {
+
+template <class H>
+void run(const Options& opt) {
+  const std::size_t elems = 1'000;
+  ConstantSortedList list(elems);
+  constexpr unsigned kWritePercent = 5;
+
+  TmUniverse<H> universe;
+  Table table("1K Nodes Constant Sorted List, 5% mutations (substrate=" +
+                  std::string(opt.substrate_name()) + ") - Figure 3 middle",
+              opt.threads);
+
+  auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
+    const std::uint64_t key = rng.below(2 * elems);
+    if (rng.percent_chance(kWritePercent)) {
+      tm.atomically(ctx, [&](auto& tx) { (void)list.update(tx, key, rng.next_u64()); });
+    } else {
+      TmWord sink = 0;
+      tm.atomically(ctx, [&](auto& tx) { (void)list.search(tx, key, &sink); });
+      do_not_optimize(sink);
+    }
+  };
+
+  run_figure(universe, table,
+             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast, Series::kRh1Mix10,
+              Series::kRh1Mix100},
+             opt, op);
+  table.print();
+}
+
+}  // namespace
+}  // namespace rhtm::bench
+
+int main(int argc, char** argv) {
+  const auto opt = rhtm::bench::Options::parse(argc, argv);
+  if (opt.use_sim) {
+    rhtm::bench::run<rhtm::HtmSim>(opt);
+  } else {
+    rhtm::bench::run<rhtm::HtmEmul>(opt);
+  }
+  return 0;
+}

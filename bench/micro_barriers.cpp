@@ -1,0 +1,102 @@
+// Microbenchmark: per-access barrier cost of each protocol's fast path on
+// the emulated substrate — the paper's Figure-1 story at nanosecond scale.
+// Each iteration runs one transaction performing N reads (or writes) through
+// the protocol's handle; items/sec ≈ accesses/sec.
+//
+//   HTM           read = 1 load                       write = 1 store
+//   RH1 fast      read = 1 load                       write = stripe store + store
+//   StandardHyTM  read = metadata load + branch + load; write adds the store
+//   TL2           read = full STM read barrier         write = write-set insert
+
+#include <benchmark/benchmark.h>
+
+#include "core/rhtm.h"
+
+namespace rhtm {
+namespace {
+
+constexpr std::size_t kCells = 1024;
+
+template <class Tm>
+void reads_loop(benchmark::State& state, TmUniverse<HtmEmul>& universe) {
+  Tm tm(universe);
+  typename Tm::ThreadCtx ctx(tm);
+  std::vector<TVar<TmWord>> cells(kCells);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::size_t base = 0;
+  for (auto _ : state) {
+    TmWord sum = 0;
+    tm.atomically(ctx, [&](auto& tx) {
+      sum = 0;
+      for (std::size_t i = 0; i < n; ++i) sum += cells[(base + i) & (kCells - 1)].read(tx);
+    });
+    benchmark::DoNotOptimize(sum);
+    base += n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+template <class Tm>
+void writes_loop(benchmark::State& state, TmUniverse<HtmEmul>& universe) {
+  Tm tm(universe);
+  typename Tm::ThreadCtx ctx(tm);
+  std::vector<TVar<TmWord>> cells(kCells);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::size_t base = 0;
+  for (auto _ : state) {
+    tm.atomically(ctx, [&](auto& tx) {
+      for (std::size_t i = 0; i < n; ++i) cells[(base + i) & (kCells - 1)].write(tx, i);
+    });
+    base += n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_Reads_HTM(benchmark::State& state) {
+  TmUniverse<HtmEmul> u;
+  reads_loop<EmulHtmOnly>(state, u);
+}
+void BM_Reads_RH1Fast(benchmark::State& state) {
+  TmUniverse<HtmEmul> u;
+  reads_loop<EmulHybridTm>(state, u);
+}
+void BM_Reads_StdHyTM(benchmark::State& state) {
+  TmUniverse<HtmEmul> u;
+  reads_loop<EmulStandardHytm>(state, u);
+}
+void BM_Reads_TL2(benchmark::State& state) {
+  TmUniverse<HtmEmul> u;
+  reads_loop<EmulTl2>(state, u);
+}
+BENCHMARK(BM_Reads_HTM)->Arg(256);
+BENCHMARK(BM_Reads_RH1Fast)->Arg(256);
+BENCHMARK(BM_Reads_StdHyTM)->Arg(256);
+BENCHMARK(BM_Reads_TL2)->Arg(256);
+
+void BM_Writes_HTM(benchmark::State& state) {
+  TmUniverse<HtmEmul> u;
+  writes_loop<EmulHtmOnly>(state, u);
+}
+void BM_Writes_RH1Fast(benchmark::State& state) {
+  TmUniverse<HtmEmul> u;
+  writes_loop<EmulHybridTm>(state, u);
+}
+void BM_Writes_StdHyTM(benchmark::State& state) {
+  TmUniverse<HtmEmul> u;
+  writes_loop<EmulStandardHytm>(state, u);
+}
+void BM_Writes_TL2(benchmark::State& state) {
+  TmUniverse<HtmEmul> u;
+  writes_loop<EmulTl2>(state, u);
+}
+BENCHMARK(BM_Writes_HTM)->Arg(256);
+BENCHMARK(BM_Writes_RH1Fast)->Arg(256);
+BENCHMARK(BM_Writes_StdHyTM)->Arg(256);
+BENCHMARK(BM_Writes_TL2)->Arg(256);
+
+}  // namespace
+}  // namespace rhtm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Microbenchmarks (A5): primitive costs of the simulated and emulated HTM
+// substrates, the clock, the stripe mapping and the software-path
+// containers. google-benchmark timing.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rhtm.h"
+#include "stm/read_set.h"
+#include "stm/write_set.h"
+
+namespace rhtm {
+namespace {
+
+void BM_SimTxReadOnly(benchmark::State& state) {
+  HtmSim sim;
+  HtmSim::Tx tx(sim);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<TmCell> cells(n);
+  for (auto _ : state) {
+    const auto outcome = sim.execute(tx, [&](HtmSim::Tx& t) {
+      TmWord sum = 0;
+      for (auto& c : cells) sum += t.load(c);
+      benchmark::DoNotOptimize(sum);
+    });
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimTxReadOnly)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SimTxWriteCommit(benchmark::State& state) {
+  HtmSim sim;
+  HtmSim::Tx tx(sim);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<TmCell> cells(n);
+  for (auto _ : state) {
+    const auto outcome = sim.execute(tx, [&](HtmSim::Tx& t) {
+      for (auto& c : cells) t.store(c, 1);
+    });
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimTxWriteCommit)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EmulTxReadOnly(benchmark::State& state) {
+  HtmEmul emul;
+  HtmEmul::Tx tx(emul);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<TmCell> cells(n);
+  for (auto _ : state) {
+    const auto outcome = emul.execute(tx, [&](HtmEmul::Tx& t) {
+      TmWord sum = 0;
+      for (auto& c : cells) sum += t.load(c);
+      benchmark::DoNotOptimize(sum);
+    });
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EmulTxReadOnly)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SimNontxStore(benchmark::State& state) {
+  HtmSim sim;
+  TmCell cell;
+  TmWord v = 0;
+  for (auto _ : state) {
+    sim.nontx_store(cell, ++v);
+  }
+}
+BENCHMARK(BM_SimNontxStore);
+
+void BM_SimAbortRoundtrip(benchmark::State& state) {
+  HtmSim sim;
+  HtmSim::Tx tx(sim);
+  TmCell cell;
+  for (auto _ : state) {
+    const auto outcome = sim.execute(tx, [&](HtmSim::Tx& t) {
+      t.store(cell, 1);
+      t.abort_explicit();
+    });
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_SimAbortRoundtrip);
+
+void BM_ClockNext(benchmark::State& state) {
+  GlobalVersionClock clock(static_cast<GvMode>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.next());
+  }
+}
+BENCHMARK(BM_ClockNext)->Arg(0)->Arg(1)->Arg(2);  // GV1, GV4, GV6
+
+void BM_StripeIndex(benchmark::State& state) {
+  StripeTable table;
+  std::uint64_t data[1024];
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.index_of(&data[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_StripeIndex);
+
+void BM_WriteSetPutFind(benchmark::State& state) {
+  WriteSet ws;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<TmCell> cells(n);
+  for (auto _ : state) {
+    ws.clear();
+    for (std::size_t i = 0; i < n; ++i) ws.put(cells[i], i, static_cast<std::uint32_t>(i));
+    for (std::size_t i = 0; i < n; ++i) benchmark::DoNotOptimize(ws.find(cells[i]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_WriteSetPutFind)->Arg(16)->Arg(256);
+
+void BM_ReadSetAdd(benchmark::State& state) {
+  ReadSet rs;
+  for (auto _ : state) {
+    rs.clear();
+    for (std::uint32_t i = 0; i < 256; ++i) rs.add(i, i);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ReadSetAdd);
+
+}  // namespace
+}  // namespace rhtm
+
+BENCHMARK_MAIN();
