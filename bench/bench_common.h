@@ -110,7 +110,9 @@ class Table {
     std::printf("# abort ratios:\n");
     for (std::size_t s = 0; s < names_.size(); ++s) {
       std::printf("#   %-14s", names_[s].c_str());
-      for (const auto& p : points_[s]) std::printf(" %5.2f", p.abort_ratio);
+      if (s < points_.size()) {
+        for (const auto& p : points_[s]) std::printf(" %5.2f", p.abort_ratio);
+      }
       std::printf("\n");
     }
   }

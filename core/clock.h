@@ -1,0 +1,74 @@
+#pragma once
+
+// Global version clock (paper §2.2). The counter lives in a TmCell so that
+// hardware transactions can read (and, under GV1/GV4, advance) it inside
+// their speculation window — which is exactly what makes the clock policy
+// measurable: a policy that writes the clock makes every overlapping pair of
+// hardware transactions conflict on the clock line.
+
+#include "core/cell.h"
+
+namespace rhtm {
+
+enum class GvMode : int {
+  kGv1 = 0,  ///< fetch-add on every next(): precise, maximal clock traffic
+  kGv4 = 1,  ///< one CAS per racing batch; losers adopt the winner's value
+  kGv6 = 2,  ///< next() never writes; aborting readers advance the clock
+};
+
+[[nodiscard]] inline const char* to_string(GvMode m) {
+  switch (m) {
+    case GvMode::kGv1: return "GV1";
+    case GvMode::kGv4: return "GV4";
+    case GvMode::kGv6: return "GV6";
+  }
+  return "?";
+}
+
+class GlobalVersionClock {
+ public:
+  explicit GlobalVersionClock(GvMode mode = GvMode::kGv1) : mode_(mode) {}
+
+  [[nodiscard]] GvMode mode() const { return mode_; }
+
+  /// The cell backing the counter — hardware paths subscribe through this.
+  [[nodiscard]] TmCell& cell() { return cell_; }
+
+  [[nodiscard]] TmWord read() const { return cell_.word.load(std::memory_order_acquire); }
+
+  /// Next write-version for a software commit. Under GV6 the clock itself is
+  /// not advanced; the returned stamp is still strictly greater than any
+  /// read-version sampled before the commit, which is all validation needs.
+  TmWord next() {
+    switch (mode_) {
+      case GvMode::kGv1:
+        return cell_.word.fetch_add(1, std::memory_order_acq_rel) + 1;
+      case GvMode::kGv4: {
+        TmWord cur = cell_.word.load(std::memory_order_acquire);
+        const TmWord want = cur + 1;
+        if (cell_.word.compare_exchange_strong(cur, want, std::memory_order_acq_rel)) {
+          return want;
+        }
+        // Lost the race: `cur` now holds the winner's (newer) value — adopt
+        // it instead of retrying, batching the whole racing group onto one
+        // clock increment.
+        return cur;
+      }
+      case GvMode::kGv6:
+        return read() + 1;
+    }
+    return 0;
+  }
+
+  /// GV6 progress rule: a reader that aborts on a too-new stripe version
+  /// advances the clock so its next read-version admits the new data.
+  void on_abort() {
+    if (mode_ == GvMode::kGv6) cell_.word.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  GvMode mode_;
+  TmCell cell_;
+};
+
+}  // namespace rhtm

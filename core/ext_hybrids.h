@@ -1,0 +1,266 @@
+#pragma once
+
+// The two alternative hybrid designs RH1 was proposed to replace (§1),
+// implemented for the ext_hybrids bench:
+//
+//  * HybridNorec — tiny instrumentation (one global sequence lock), but a
+//    writer's commit bumps the sequence word that every concurrent hardware
+//    transaction has subscribed to, so writer commits abort ALL overlapping
+//    hardware transactions: coarse-grained conflicts.
+//
+//  * PhasedTm — runs everyone in uninstrumented hardware while it can, but
+//    a single transaction needing software flips a global phase word and
+//    drags every thread into the STM phase until the stragglers drain.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/htm_only.h"
+#include "core/tl2.h"
+
+namespace rhtm {
+
+// ---------------------------------------------------------------------------
+// HybridNorec
+// ---------------------------------------------------------------------------
+template <class H>
+class HybridNorec {
+ public:
+  struct Config {
+    std::uint32_t inject_abort_bp = 0;
+    unsigned max_hw_attempts = 8;
+    unsigned capacity_retries = 2;
+  };
+
+  class ThreadCtx {
+   public:
+    explicit ThreadCtx(HybridNorec& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    TxStats stats;
+
+   private:
+    friend class HybridNorec;
+    typename H::Tx tx_;
+    Xoshiro256 rng_;
+    WriteSet ws_;
+    std::vector<std::pair<const TmCell*, TmWord>> read_log_;  ///< value-based (NOrec)
+  };
+
+  explicit HybridNorec(TmUniverse<H>& u, Config cfg = {})
+      : u_(u), cfg_(cfg), injector_(cfg.inject_abort_bp) {}
+
+  template <class Body>
+  void atomically(ThreadCtx& ctx, Body&& body) {
+    detail::timed_section(ctx.stats, [&] { run(ctx, body); });
+  }
+
+ private:
+  /// Hardware handle: plain accesses; only tracks whether we wrote.
+  struct HwHandle {
+    typename H::Tx& t;
+    bool& wrote;
+    TmWord load(const TmCell& c) { return t.load(c); }
+    void store(TmCell& c, TmWord v) {
+      wrote = true;
+      t.store(c, v);
+    }
+  };
+
+  /// Software handle: NOrec value-based read log + buffered writes.
+  struct SwHandle {
+    HybridNorec& tm;
+    ThreadCtx& ctx;
+    TmWord& snapshot;
+
+    TmWord load(const TmCell& c) {
+      if (const WriteEntry* e = ctx.ws_.find(c)) return e->value;
+      for (;;) {
+        // Epoch-bracketed so a hardware commit's multi-word write-back (data
+        // stores before its seq bump) cannot slip a torn value past the
+        // snapshot check.
+        const TmWord e1 = tm.u_.htm().publication_epoch();
+        const TmWord val = tm.u_.htm().nontx_load(c);
+        const TmWord e2 = tm.u_.htm().publication_epoch();
+        if ((e1 & 1) != 0 || e1 != e2) {
+          detail::cpu_relax();
+          continue;
+        }
+        if (tm.seq_.word.load(std::memory_order_acquire) != snapshot) {
+          snapshot = tm.revalidate(ctx);
+          continue;
+        }
+        ctx.read_log_.push_back({&c, val});
+        return val;
+      }
+    }
+
+    void store(TmCell& c, TmWord v) { ctx.ws_.put(c, v, 0); }
+  };
+
+  template <class Body>
+  void run(ThreadCtx& ctx, Body& body) {
+    unsigned attempt = 0;
+    unsigned capacity_fails = 0;
+    for (unsigned tries = 0; tries < cfg_.max_hw_attempts; ++tries) {
+      ctx.stats.count_attempt(ExecPath::kHtm);
+      const bool poison = injector_.fire(ctx.rng_);
+      bool wrote = false;
+      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+        const TmWord s0 = t.load(seq_);  // subscribe to the global sequence lock
+        if ((s0 & 1) != 0) t.abort_explicit();
+        if (poison) t.poison();
+        HwHandle h{t, wrote};
+        body(h);
+        if (wrote) t.store(seq_, s0 + 2);  // the coarse-conflict commit bump
+      });
+      if (out.ok()) {
+        ctx.stats.count_commit(ExecPath::kHtm);
+        return;
+      }
+      ctx.stats.count_abort(to_abort_cause(out.status));
+      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
+        break;
+      }
+      detail::backoff(attempt++);
+    }
+    run_software(ctx, body);
+  }
+
+  template <class Body>
+  void run_software(ThreadCtx& ctx, Body& body) {
+    unsigned attempt = 0;
+    for (;;) {
+      ctx.stats.count_attempt(ExecPath::kStm);
+      ctx.ws_.clear();
+      ctx.read_log_.clear();
+      TmWord snapshot = wait_quiescent();
+      try {
+        SwHandle h{*this, ctx, snapshot};
+        body(h);
+        if (!ctx.ws_.empty()) {
+          for (;;) {  // acquire the sequence lock at our validated snapshot
+            TmWord expected = snapshot;
+            if (seq_.word.compare_exchange_strong(expected, snapshot + 1,
+                                                  std::memory_order_acq_rel)) {
+              break;
+            }
+            snapshot = revalidate(ctx);
+          }
+          u_.htm().nontx_publish(ctx.ws_.entries());
+          seq_.word.store(snapshot + 2, std::memory_order_release);
+        }
+      } catch (const detail::StmAbort& a) {
+        ctx.stats.count_abort(a.cause);
+        detail::backoff(attempt++);
+        continue;
+      }
+      ctx.stats.count_commit(ExecPath::kStm);
+      return;
+    }
+  }
+
+  TmWord wait_quiescent() {
+    for (;;) {
+      const TmWord s = seq_.word.load(std::memory_order_acquire);
+      if ((s & 1) == 0) return s;
+      detail::cpu_relax();
+    }
+  }
+
+  /// NOrec value-based revalidation: wait for a quiescent sequence, re-read
+  /// every logged value, and adopt the new snapshot if nothing moved.
+  TmWord revalidate(ThreadCtx& ctx) {
+    for (;;) {
+      const TmWord s = wait_quiescent();
+      for (const auto& [cell, seen] : ctx.read_log_) {
+        if (u_.htm().nontx_load(*cell) != seen) {
+          throw detail::StmAbort{AbortCause::kStmValidation};
+        }
+      }
+      if (seq_.word.load(std::memory_order_acquire) == s) return s;
+    }
+  }
+
+  TmUniverse<H>& u_;
+  Config cfg_;
+  AbortInjector injector_;
+  TmCell seq_;  ///< global sequence lock: even = quiet, odd = writer committing
+};
+
+// ---------------------------------------------------------------------------
+// PhasedTm
+// ---------------------------------------------------------------------------
+template <class H>
+class PhasedTm {
+ public:
+  struct Config {
+    std::uint32_t inject_abort_bp = 0;
+    unsigned max_hw_attempts = 8;
+    unsigned capacity_retries = 2;
+  };
+
+  class ThreadCtx {
+   public:
+    explicit ThreadCtx(PhasedTm& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    TxStats stats;
+
+   private:
+    friend class PhasedTm;
+    typename H::Tx tx_;
+    Xoshiro256 rng_;
+    ReadSet rs_;
+    WriteSet ws_;
+    std::vector<std::uint32_t> lock_scratch_;
+  };
+
+  explicit PhasedTm(TmUniverse<H>& u, Config cfg = {})
+      : u_(u), cfg_(cfg), injector_(cfg.inject_abort_bp) {}
+
+  template <class Body>
+  void atomically(ThreadCtx& ctx, Body&& body) {
+    detail::timed_section(ctx.stats, [&] { run(ctx, body); });
+  }
+
+  /// Exposed for tests: number of transactions currently in software mode.
+  [[nodiscard]] TmWord software_pending() const { return phase_.unsafe_load(); }
+
+ private:
+  template <class Body>
+  void run(ThreadCtx& ctx, Body& body) {
+    unsigned attempt = 0;
+    unsigned capacity_fails = 0;
+    for (unsigned tries = 0; tries < cfg_.max_hw_attempts; ++tries) {
+      if (phase_.word.load(std::memory_order_acquire) != 0) break;  // SW phase active
+      ctx.stats.count_attempt(ExecPath::kHtm);
+      const bool poison = injector_.fire(ctx.rng_);
+      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+        if (t.load(phase_) != 0) t.abort_explicit();  // subscribe to the phase word
+        if (poison) t.poison();
+        detail::HwPlainHandle<typename H::Tx> h{t};
+        body(h);
+      });
+      if (out.ok()) {
+        ctx.stats.count_commit(ExecPath::kHtm);
+        return;
+      }
+      ctx.stats.count_abort(to_abort_cause(out.status));
+      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
+        break;
+      }
+      detail::backoff(attempt++);
+    }
+    // Software phase: registering flips (or keeps) the phase word nonzero,
+    // which aborts every in-flight hardware transaction and diverts new ones
+    // here — the whole system pays STM until the count drains back to zero.
+    phase_.word.fetch_add(1, std::memory_order_acq_rel);
+    detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm, body);
+    phase_.word.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  TmUniverse<H>& u_;
+  Config cfg_;
+  AbortInjector injector_;
+  TmCell phase_;  ///< count of transactions currently executing in software
+};
+
+}  // namespace rhtm

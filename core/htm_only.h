@@ -1,0 +1,130 @@
+#pragma once
+
+// HtmOnly — the paper's "HTM" series: every transaction is one hardware
+// transaction with completely uninstrumented accesses. The only concession
+// to liveness is a global-seqlock fallback for transactions that
+// deterministically exceed the hardware budget (classic lock elision);
+// hardware attempts subscribe to the fallback lock so the two are mutually
+// atomic on the simulated substrate.
+
+#include <cstdint>
+
+#include "core/stats.h"
+#include "core/universe.h"
+
+namespace rhtm {
+
+namespace detail {
+
+/// Seqlock used as the non-speculative fallback: odd = held.
+class FallbackLock {
+ public:
+  [[nodiscard]] TmCell& cell() { return cell_; }
+
+  void acquire() {
+    for (;;) {
+      TmWord s = cell_.word.load(std::memory_order_acquire);
+      if ((s & 1) == 0 &&
+          cell_.word.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel)) {
+        return;
+      }
+      cpu_relax();
+    }
+  }
+  void release() { cell_.word.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Hardware-side subscription: read the lock word inside the transaction
+  /// and bail if it is held. Any later acquire/release changes the word, so
+  /// the simulated substrate's commit validation aborts the transaction.
+  template <class Tx>
+  void subscribe(Tx& t) {
+    if ((t.load(cell_) & 1) != 0) t.abort_explicit();
+  }
+
+ private:
+  TmCell cell_;
+};
+
+/// Uninstrumented transactional accessors over a hardware transaction.
+template <class Tx>
+struct HwPlainHandle {
+  Tx& t;
+  TmWord load(const TmCell& c) { return t.load(c); }
+  void store(TmCell& c, TmWord v) { t.store(c, v); }
+};
+
+/// Plain accessors for code running under the fallback lock.
+template <class H>
+struct NonSpecHandle {
+  H& htm;
+  TmWord load(const TmCell& c) { return htm.nontx_load(c); }
+  void store(TmCell& c, TmWord v) { htm.nontx_store(c, v); }
+};
+
+}  // namespace detail
+
+template <class H>
+class HtmOnly {
+ public:
+  struct Config {
+    std::uint32_t inject_abort_bp = 0;
+    unsigned capacity_retries = 4;  ///< capacity aborts before the lock fallback
+  };
+
+  class ThreadCtx {
+   public:
+    explicit ThreadCtx(HtmOnly& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    TxStats stats;
+
+   private:
+    friend class HtmOnly;
+    typename H::Tx tx_;
+    Xoshiro256 rng_;
+  };
+
+  explicit HtmOnly(TmUniverse<H>& u, Config cfg = {}) : u_(u), cfg_(cfg),
+                                                        injector_(cfg.inject_abort_bp) {}
+
+  template <class Body>
+  void atomically(ThreadCtx& ctx, Body&& body) {
+    detail::timed_section(ctx.stats, [&] { run(ctx, body); });
+  }
+
+ private:
+  template <class Body>
+  void run(ThreadCtx& ctx, Body& body) {
+    unsigned attempt = 0;
+    unsigned capacity_fails = 0;
+    for (;;) {
+      ctx.stats.count_attempt(ExecPath::kHtm);
+      const bool poison = injector_.fire(ctx.rng_);
+      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+        fallback_.subscribe(t);
+        if (poison) t.poison();
+        detail::HwPlainHandle<typename H::Tx> h{t};
+        body(h);
+      });
+      if (out.ok()) {
+        ctx.stats.count_commit(ExecPath::kHtm);
+        return;
+      }
+      ctx.stats.count_abort(to_abort_cause(out.status));
+      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
+        break;  // deterministically over budget: go non-speculative
+      }
+      detail::backoff(attempt++);
+    }
+    fallback_.acquire();
+    detail::NonSpecHandle<H> h{u_.htm()};
+    body(h);
+    fallback_.release();
+    ctx.stats.count_commit(ExecPath::kHtm);
+  }
+
+  TmUniverse<H>& u_;
+  Config cfg_;
+  AbortInjector injector_;
+  detail::FallbackLock fallback_;
+};
+
+}  // namespace rhtm

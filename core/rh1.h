@@ -1,0 +1,344 @@
+#pragma once
+
+// HybridTm — the paper's RH1 algorithm, with the RH2 / slow-slow escalation
+// chain of §4.
+//
+// Fast path (kRh1Fast): the whole body runs in ONE hardware transaction.
+// Reads are completely uninstrumented (one load). Writes store the data
+// word and record the stripe; at the commit point the transaction re-reads
+// the clock and publishes every written stripe at clock+1, so software
+// readers serialize against fast commits through the ordinary TL2
+// validation rules. No read-set, no write buffering, no logging.
+//
+// Slow path (kRh1Slow): a TL2-style software body (instrumented reads into
+// a ReadSet, writes buffered in a WriteSet) committed by a *reduced
+// hardware transaction*: one short HTM transaction that revalidates the
+// read stripes (metadata only — one stripe word per granule of data, the
+// ~4x capacity headroom of §1.2), fetches a write version, and publishes
+// write-set data + stripe versions atomically. No stripe locks anywhere on
+// this path.
+//
+// RH2 (kRh2Slow): if the reduced commit itself exceeds the hardware budget,
+// the transaction re-executes with *visible* reads — readers publish
+// themselves on per-stripe read masks (fetch-add vs CAS-loop is ablation
+// A4) — and commits with a write-set-only hardware transaction that refuses
+// to overwrite stripes carrying foreign readers. While any RH2 transaction
+// is active (a global counter both fast and RH1-slow commits subscribe to),
+// every committer checks the masks of its write stripes.
+//
+// Slow-slow (kRh2SlowSlow): the final all-software fallback — the TL2
+// stripe-locked commit, mask-respecting. Needs no hardware at all.
+//
+// Mixed-mode policy (§2.3): an aborted fast transaction retries in
+// hardware; with probability `slow_retry_percent` it falls back to the
+// slow path instead. `RetryPolicy::kAdaptive` replaces the fixed coin with
+// a failure-streak heuristic that skips doomed hardware attempts entirely
+// and re-probes periodically.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/tl2.h"
+
+namespace rhtm {
+
+template <class H>
+class HybridTm {
+ public:
+  enum class RetryPolicy { kMixed, kAdaptive };
+
+  struct Config {
+    std::uint32_t inject_abort_bp = 0;
+    unsigned slow_retry_percent = 100;  ///< Mixed-N: % of aborts retried in software
+    bool force_slow_path = false;       ///< breakdown bench: software body + HTM commit
+    bool force_rh2 = false;             ///< ablation A4: visible-read slow mode
+    RetryPolicy retry_policy = RetryPolicy::kMixed;
+    unsigned commit_retries = 8;        ///< reduced-commit conflict retries
+    unsigned capacity_retries = 2;      ///< fast-path capacity aborts before fallback
+    unsigned adaptive_streak = 2;       ///< failures before adaptive goes software
+    unsigned adaptive_probe_period = 64;  ///< software txs between hardware probes
+  };
+
+  class ThreadCtx {
+   public:
+    explicit ThreadCtx(HybridTm& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    TxStats stats;
+
+   private:
+    friend class HybridTm;
+    typename H::Tx tx_;
+    Xoshiro256 rng_;
+    ReadSet rs_;
+    WriteSet ws_;
+    std::vector<std::uint32_t> fast_written_;
+    std::vector<std::uint32_t> lock_scratch_;
+    std::vector<std::uint32_t> masks_;  ///< stripes with our RH2 read mask published
+    unsigned adaptive_streak = 0;
+    unsigned adaptive_since_probe = 0;
+  };
+
+  explicit HybridTm(TmUniverse<H>& u, Config cfg = {})
+      : u_(u), cfg_(cfg), injector_(cfg.inject_abort_bp) {}
+
+  template <class Body>
+  void atomically(ThreadCtx& ctx, Body&& body) {
+    detail::timed_section(ctx.stats, [&] { run(ctx, body); });
+  }
+
+ private:
+  // ---------------------------------------------------------------- fast --
+  /// Uninstrumented reads; writes = data store + stripe bookkeeping.
+  struct FastHandle {
+    typename H::Tx& t;
+    StripeTable& st;
+    std::vector<std::uint32_t>& written;
+
+    TmWord load(const TmCell& c) { return t.load(c); }
+
+    void store(TmCell& c, TmWord v) {
+      const std::size_t s = st.index_of(&c);
+      if (StripeTable::is_locked(t.load(st.word(s)))) t.abort_explicit();
+      t.store(c, v);
+      if (written.empty() || written.back() != s) {
+        written.push_back(static_cast<std::uint32_t>(s));
+      }
+    }
+  };
+
+  template <class Body>
+  void run(ThreadCtx& ctx, Body& body) {
+    if (cfg_.force_slow_path || cfg_.force_rh2) {
+      run_slow(ctx, body, cfg_.force_rh2);
+      return;
+    }
+    if (cfg_.retry_policy == RetryPolicy::kAdaptive &&
+        ctx.adaptive_streak >= cfg_.adaptive_streak) {
+      if (++ctx.adaptive_since_probe < cfg_.adaptive_probe_period) {
+        run_slow(ctx, body, false);  // skip the doomed hardware attempt
+        return;
+      }
+      ctx.adaptive_since_probe = 0;  // probe hardware again this once
+    }
+    unsigned attempt = 0;
+    unsigned capacity_fails = 0;
+    for (;;) {
+      ctx.stats.count_attempt(ExecPath::kRh1Fast);
+      const bool poison = injector_.fire(ctx.rng_);
+      ctx.fast_written_.clear();
+      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+        if (poison) t.poison();
+        FastHandle h{t, u_.stripes(), ctx.fast_written_};
+        body(h);
+        fast_commit_stamp(t, ctx.fast_written_);
+      });
+      if (out.ok()) {
+        ctx.stats.count_commit(ExecPath::kRh1Fast);
+        ctx.adaptive_streak = 0;
+        return;
+      }
+      ctx.stats.count_abort(to_abort_cause(out.status));
+      bool go_slow = false;
+      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
+        go_slow = true;  // deterministic overflow: retrying in hardware is futile
+      } else if (cfg_.retry_policy == RetryPolicy::kAdaptive) {
+        go_slow = ++ctx.adaptive_streak >= cfg_.adaptive_streak;
+      } else if (cfg_.slow_retry_percent > 0 &&
+                 ctx.rng_.percent_chance(cfg_.slow_retry_percent)) {
+        go_slow = true;
+      }
+      if (go_slow) {
+        run_slow(ctx, body, false);
+        return;
+      }
+      detail::backoff(attempt++);
+    }
+  }
+
+  /// Commit-point publication for the fast path: fresh clock, stripe
+  /// stamps, and — only while RH2 readers exist — mask checks.
+  void fast_commit_stamp(typename H::Tx& t, const std::vector<std::uint32_t>& written) {
+    if (written.empty()) return;
+    if (t.load(rh2_active_) != 0) {
+      for (const std::uint32_t s : written) {
+        if (t.load(u_.stripes().read_mask(s)) != 0) t.abort_explicit();
+      }
+    }
+    const TmWord wv = t.load(u_.clock().cell()) + 1;
+    if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
+    for (const std::uint32_t s : written) {
+      t.store(u_.stripes().word(s), StripeTable::make_word(wv));
+    }
+  }
+
+  // ---------------------------------------------------------------- slow --
+  /// RH2 visible-read barrier; the RH1-slow barrier is the plain Tl2Handle.
+  struct Rh2Handle {
+    HybridTm& tm;
+    ThreadCtx& ctx;
+    TmWord rv;
+
+    TmWord load(const TmCell& c) {
+      if (const WriteEntry* e = ctx.ws_.find(c)) return e->value;
+      const std::size_t s = tm.u_.stripes().index_of(&c);
+      tm.publish_once(ctx, static_cast<std::uint32_t>(s));
+      return detail::stripe_validated_read(tm.u_, c, s, rv, ctx.rs_);
+    }
+
+    void store(TmCell& c, TmWord v) {
+      ctx.ws_.put(c, v, static_cast<std::uint32_t>(tm.u_.stripes().index_of(&c)));
+    }
+  };
+
+  template <class Body>
+  void run_slow(ThreadCtx& ctx, Body& body, bool rh2) {
+    unsigned attempt = 0;
+    for (;;) {
+      const ExecPath path = rh2 ? ExecPath::kRh2Slow : ExecPath::kRh1Slow;
+      ctx.stats.count_attempt(path);
+      ctx.rs_.clear();
+      ctx.ws_.clear();
+      const TmWord rv = u_.clock().read();
+      try {
+        if (!rh2) {
+          detail::Tl2Handle<H> h{u_, ctx.rs_, ctx.ws_, rv};
+          body(h);
+          if (!rh1_reduced_commit(ctx, rv)) {
+            rh2 = true;  // commit exceeds the hardware budget: go visible
+            continue;
+          }
+          ctx.stats.count_commit(ExecPath::kRh1Slow);
+        } else {
+          rh2_active_.word.fetch_add(1, std::memory_order_acq_rel);
+          ctx.masks_.clear();
+          try {
+            Rh2Handle h{*this, ctx, rv};
+            body(h);
+            const ExecPath commit_path = rh2_commit(ctx, rv);
+            unpublish_all(ctx);
+            rh2_active_.word.fetch_sub(1, std::memory_order_acq_rel);
+            ctx.stats.count_commit(commit_path);
+          } catch (...) {
+            unpublish_all(ctx);
+            rh2_active_.word.fetch_sub(1, std::memory_order_acq_rel);
+            throw;
+          }
+        }
+      } catch (const detail::StmAbort& a) {
+        ctx.stats.count_abort(a.cause);
+        u_.clock().on_abort();
+        detail::backoff(attempt++);
+        continue;
+      }
+      return;
+    }
+  }
+
+  /// The reduced hardware commit (§2.1): metadata-only read validation +
+  /// write-set publication in one short HTM transaction. Returns false when
+  /// the commit transaction cannot fit in hardware (escalate to RH2);
+  /// throws StmAbort when validation fails (retry the whole transaction).
+  bool rh1_reduced_commit(ThreadCtx& ctx, TmWord rv) {
+    if (ctx.ws_.empty()) return true;  // read-only: access-time validation suffices
+    StripeTable& st = u_.stripes();
+    unsigned tries = 0;
+    for (;;) {
+      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+        for (const ReadEntry& e : ctx.rs_.entries()) {
+          const TmWord w = t.load(st.word(e.stripe));
+          if (StripeTable::is_locked(w) || StripeTable::version_of(w) > rv) {
+            t.abort_explicit();
+          }
+        }
+        const bool check_masks = t.load(rh2_active_) != 0;
+        const TmWord wv = t.load(u_.clock().cell()) + 1;
+        if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
+        const TmWord stamped = StripeTable::make_word(wv);
+        for (const WriteEntry& e : ctx.ws_.entries()) {
+          const TmWord w = t.load(st.word(e.stripe));
+          if (w != stamped) {  // a stripe this commit already stamped is settled
+            if (StripeTable::is_locked(w)) t.abort_explicit();
+            if (check_masks && t.load(st.read_mask(e.stripe)) != 0) t.abort_explicit();
+            t.store(st.word(e.stripe), stamped);
+          }
+          t.store(*e.cell, e.value);
+        }
+      });
+      if (out.ok()) return true;
+      if (out.status == HtmStatus::kCapacity) return false;
+      if (out.status == HtmStatus::kExplicit || ++tries >= cfg_.commit_retries) {
+        throw detail::StmAbort{AbortCause::kStmValidation};
+      }
+      detail::backoff(tries);
+    }
+  }
+
+  /// RH2 commit: write-set-only hardware transaction. Reads are protected by
+  /// the published masks, so the transaction never touches read metadata —
+  /// it only refuses to overwrite stripes carrying *foreign* readers.
+  /// Escalates to the all-software slow-slow commit when hardware fails.
+  ExecPath rh2_commit(ThreadCtx& ctx, TmWord rv) {
+    if (ctx.ws_.empty()) return ExecPath::kRh2Slow;  // visible reads validated at access
+    StripeTable& st = u_.stripes();
+    unsigned tries = 0;
+    for (;;) {
+      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+        const TmWord wv = t.load(u_.clock().cell()) + 1;
+        if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
+        const TmWord stamped = StripeTable::make_word(wv);
+        for (const WriteEntry& e : ctx.ws_.entries()) {
+          const TmWord w = t.load(st.word(e.stripe));
+          if (w != stamped) {  // a stripe this commit already stamped is settled
+            if (StripeTable::is_locked(w) || StripeTable::version_of(w) > rv) {
+              t.abort_explicit();
+            }
+            if (t.load(st.read_mask(e.stripe)) > self_mask(ctx, e.stripe)) {
+              t.abort_explicit();  // a foreign visible reader holds this stripe
+            }
+            t.store(st.word(e.stripe), stamped);
+          }
+          t.store(*e.cell, e.value);
+        }
+      });
+      if (out.ok()) return ExecPath::kRh2Slow;
+      if (out.status == HtmStatus::kExplicit) throw detail::StmAbort{AbortCause::kStmValidation};
+      if (out.status == HtmStatus::kCapacity || ++tries >= cfg_.commit_retries) {
+        detail::tl2_software_commit(u_, ctx.rs_, ctx.ws_, rv, ctx.lock_scratch_, &ctx.masks_);
+        return ExecPath::kRh2SlowSlow;
+      }
+      detail::backoff(tries);
+    }
+  }
+
+  void publish_once(ThreadCtx& ctx, std::uint32_t stripe) {
+    for (const std::uint32_t s : ctx.masks_) {
+      if (s == stripe) return;
+    }
+    u_.stripes().publish_read(stripe);
+    ctx.masks_.push_back(stripe);
+  }
+
+  void unpublish_all(ThreadCtx& ctx) {
+    for (const std::uint32_t s : ctx.masks_) u_.stripes().unpublish_read(s);
+    ctx.masks_.clear();
+  }
+
+  /// 1 when this transaction published a read mask on `stripe`, else 0.
+  [[nodiscard]] TmWord self_mask(const ThreadCtx& ctx, std::uint32_t stripe) const {
+    for (const std::uint32_t s : ctx.masks_) {
+      if (s == stripe) return 1;
+    }
+    return 0;
+  }
+
+  TmUniverse<H>& u_;
+  Config cfg_;
+  AbortInjector injector_;
+  TmCell rh2_active_;  ///< live RH2 transactions; committers subscribe
+
+ public:
+  /// Exposed for tests: number of in-flight RH2 transactions.
+  [[nodiscard]] TmWord rh2_active() const { return rh2_active_.unsafe_load(); }
+};
+
+}  // namespace rhtm

@@ -1,0 +1,42 @@
+#pragma once
+
+// Umbrella header for the rhtm library: the TM universe, both HTM
+// substrates, the four paper protocols (HtmOnly, StandardHytm, Tl2,
+// HybridTm/RH1) and the two extension hybrids (HybridNorec, PhasedTm),
+// plus the substrate-bound aliases the benches use.
+//
+// Layering (see docs/ARCHITECTURE.md):
+//   substrate (HtmEmul | HtmSim)
+//     -> universe (stripes + clock + substrate instance)
+//       -> protocols (this header's classes)
+//         -> STM sets (stm/read_set.h, stm/write_set.h)
+//           -> workloads + bench harness (workloads/, bench/)
+
+#include "core/cell.h"
+#include "core/clock.h"
+#include "core/ext_hybrids.h"
+#include "core/htm_emul.h"
+#include "core/htm_only.h"
+#include "core/htm_sim.h"
+#include "core/rh1.h"
+#include "core/rng.h"
+#include "core/standard_hytm.h"
+#include "core/stats.h"
+#include "core/stripe.h"
+#include "core/tl2.h"
+#include "core/universe.h"
+
+namespace rhtm {
+
+// Substrate-bound aliases used by the micro and ablation benches.
+using EmulHtmOnly = HtmOnly<HtmEmul>;
+using EmulStandardHytm = StandardHytm<HtmEmul>;
+using EmulTl2 = Tl2<HtmEmul>;
+using EmulHybridTm = HybridTm<HtmEmul>;
+
+using SimHtmOnly = HtmOnly<HtmSim>;
+using SimStandardHytm = StandardHytm<HtmSim>;
+using SimTl2 = Tl2<HtmSim>;
+using SimHybridTm = HybridTm<HtmSim>;
+
+}  // namespace rhtm

@@ -1,0 +1,54 @@
+#pragma once
+
+// xoshiro256** — the per-thread PRNG used by the drivers, the workloads and
+// the protocols' internal coin flips (abort injection, mixed-mode retry).
+// Deterministic per seed; no global state.
+
+#include <cstdint>
+
+namespace rhtm {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) { return bound != 0 ? next_u64() % bound : 0; }
+
+  /// True with probability percent/100.
+  bool percent_chance(unsigned percent) { return below(100) < percent; }
+
+  /// True with probability bp/10000 (basis points).
+  bool chance_bp(std::uint32_t bp) { return below(10000) < bp; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace rhtm

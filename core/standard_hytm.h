@@ -1,0 +1,137 @@
+#pragma once
+
+// StandardHytm — the conventional hybrid baseline the paper argues against:
+// the hardware path instruments *every* access with a stripe-metadata read
+// (and writes additionally publish the stripe version), so hardware
+// transactions pay a metadata load + branch per data access and generate
+// coherence traffic on the stripe words. The software fallback is TL2.
+//
+// `hardware_only` is the paper's best-case configuration: the software
+// fallback is disabled, so the series shows pure instrumentation overhead
+// with no mixed-mode penalty (deterministic capacity overflows still take a
+// non-speculative lock fallback for liveness).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/htm_only.h"
+#include "core/tl2.h"
+
+namespace rhtm {
+
+template <class H>
+class StandardHytm {
+ public:
+  struct Config {
+    bool hardware_only = false;
+    std::uint32_t inject_abort_bp = 0;
+    unsigned max_hw_attempts = 8;   ///< before falling back to software
+    unsigned capacity_retries = 2;  ///< capacity aborts before giving up on HW
+  };
+
+  class ThreadCtx {
+   public:
+    explicit ThreadCtx(StandardHytm& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    TxStats stats;
+
+   private:
+    friend class StandardHytm;
+    typename H::Tx tx_;
+    Xoshiro256 rng_;
+    ReadSet rs_;
+    WriteSet ws_;
+    std::vector<std::uint32_t> lock_scratch_;
+    std::vector<std::uint32_t> hw_written_;
+  };
+
+  explicit StandardHytm(TmUniverse<H>& u, Config cfg = {})
+      : u_(u), cfg_(cfg), injector_(cfg.inject_abort_bp) {}
+
+  template <class Body>
+  void atomically(ThreadCtx& ctx, Body&& body) {
+    detail::timed_section(ctx.stats, [&] { run(ctx, body); });
+  }
+
+ private:
+  /// The instrumented hardware handle: metadata load + locked-check on every
+  /// access; writes record their stripe for commit-time publication.
+  struct HwHandle {
+    typename H::Tx& t;
+    StripeTable& st;
+    std::vector<std::uint32_t>& written;
+
+    TmWord load(const TmCell& c) {
+      const std::size_t s = st.index_of(&c);
+      if (StripeTable::is_locked(t.load(st.word(s)))) t.abort_explicit();
+      return t.load(c);
+    }
+    void store(TmCell& c, TmWord v) {
+      const std::size_t s = st.index_of(&c);
+      if (StripeTable::is_locked(t.load(st.word(s)))) t.abort_explicit();
+      t.store(c, v);
+      if (written.empty() || written.back() != s) {
+        written.push_back(static_cast<std::uint32_t>(s));
+      }
+    }
+  };
+
+  template <class Body>
+  void run(ThreadCtx& ctx, Body& body) {
+    unsigned attempt = 0;
+    unsigned capacity_fails = 0;
+    for (unsigned tries = 0; cfg_.hardware_only || tries < cfg_.max_hw_attempts; ++tries) {
+      ctx.stats.count_attempt(ExecPath::kHtm);
+      const bool poison = injector_.fire(ctx.rng_);
+      ctx.hw_written_.clear();
+      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+        fallback_.subscribe(t);
+        if (poison) t.poison();
+        HwHandle h{t, u_.stripes(), ctx.hw_written_};
+        body(h);
+        publish_stamps(t, ctx.hw_written_);
+      });
+      if (out.ok()) {
+        ctx.stats.count_commit(ExecPath::kHtm);
+        return;
+      }
+      ctx.stats.count_abort(to_abort_cause(out.status));
+      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
+        if (cfg_.hardware_only) {
+          run_under_lock(ctx, body);
+          return;
+        }
+        break;  // over budget: software fallback
+      }
+      detail::backoff(attempt++);
+    }
+    detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm, body);
+  }
+
+  /// Commit-point stamping: re-read the clock inside the transaction so the
+  /// published version is provably newer than any concurrent software
+  /// reader's read-version, then publish every written stripe.
+  void publish_stamps(typename H::Tx& t, const std::vector<std::uint32_t>& written) {
+    if (written.empty()) return;
+    const TmWord wv = t.load(u_.clock().cell()) + 1;
+    if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
+    for (const std::uint32_t s : written) {
+      t.store(u_.stripes().word(s), StripeTable::make_word(wv));
+    }
+  }
+
+  template <class Body>
+  void run_under_lock(ThreadCtx& ctx, Body& body) {
+    fallback_.acquire();
+    detail::NonSpecHandle<H> h{u_.htm()};
+    body(h);
+    fallback_.release();
+    ctx.stats.count_commit(ExecPath::kHtm);
+  }
+
+  TmUniverse<H>& u_;
+  Config cfg_;
+  AbortInjector injector_;
+  detail::FallbackLock fallback_;
+};
+
+}  // namespace rhtm

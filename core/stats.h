@@ -1,0 +1,160 @@
+#pragma once
+
+// Per-thread transaction statistics, the execution-path / abort-cause
+// taxonomies shared by every protocol, the calibrated abort injector, and
+// the cycle counter used by the breakdown instrumentation.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/rng.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace rhtm {
+
+/// Cycle counter for the breakdown instrumentation. On x86 this is rdtsc;
+/// elsewhere it falls back to a nanosecond clock read (same units per run,
+/// which is all the percentage breakdown needs).
+inline std::uint64_t rdtsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+}
+
+/// Which path finally committed a transaction (or was attempted).
+enum class ExecPath : unsigned {
+  kHtm,          ///< plain hardware transaction (HtmOnly / StandardHyTM / hybrids' HW mode)
+  kRh1Fast,      ///< RH1 fast path: uninstrumented body in one hardware transaction
+  kRh1Slow,      ///< RH1 slow path: software body + reduced hardware commit
+  kRh2Slow,      ///< RH2 slow path: visible reads + write-set-only hardware commit
+  kRh2SlowSlow,  ///< all-software fallback commit (stripe locks, no hardware)
+  kStm,          ///< pure STM path (TL2 / NOrec software / phased software mode)
+  kCount
+};
+
+/// Why an attempt aborted.
+enum class AbortCause : unsigned {
+  kHtmConflict,    ///< hardware conflict (sim: commit validation failed)
+  kHtmCapacity,    ///< hardware read/write budget exceeded
+  kHtmExplicit,    ///< explicit abort from inside the hardware transaction
+  kInjected,       ///< calibrated injection (emulated contention)
+  kStmValidation,  ///< software read-set / snapshot validation failed
+  kStmLocked,      ///< software path hit a locked stripe / commit lock
+  kCount
+};
+
+/// Per-thread counters. Owned by a protocol ThreadCtx; merged by the driver.
+struct TxStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t reads = 0;   ///< counted by TimedHandle (breakdown runs only)
+  std::uint64_t writes = 0;  ///< counted by TimedHandle (breakdown runs only)
+
+  // Cycle accounting for run_breakdown(); only filled when `timing` is set.
+  std::uint64_t read_cycles = 0;
+  std::uint64_t write_cycles = 0;
+  std::uint64_t tx_cycles = 0;  ///< cycles inside atomically(), all attempts
+  bool timing = false;
+
+  std::uint64_t commits_by_path[static_cast<std::size_t>(ExecPath::kCount)] = {};
+  std::uint64_t attempts_by_path[static_cast<std::size_t>(ExecPath::kCount)] = {};
+  std::uint64_t aborts_by_cause[static_cast<std::size_t>(AbortCause::kCount)] = {};
+
+  void count_attempt(ExecPath p) { ++attempts_by_path[static_cast<std::size_t>(p)]; }
+  void count_commit(ExecPath p) {
+    ++commits;
+    ++commits_by_path[static_cast<std::size_t>(p)];
+  }
+  void count_abort(AbortCause c) {
+    ++aborts;
+    ++aborts_by_cause[static_cast<std::size_t>(c)];
+  }
+
+  void merge(const TxStats& other) {
+    commits += other.commits;
+    aborts += other.aborts;
+    reads += other.reads;
+    writes += other.writes;
+    read_cycles += other.read_cycles;
+    write_cycles += other.write_cycles;
+    tx_cycles += other.tx_cycles;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(ExecPath::kCount); ++i) {
+      commits_by_path[i] += other.commits_by_path[i];
+      attempts_by_path[i] += other.attempts_by_path[i];
+    }
+    for (std::size_t i = 0; i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
+      aborts_by_cause[i] += other.aborts_by_cause[i];
+    }
+  }
+};
+
+/// Calibrated abort injection (paper §3.1): hardware-mode series replay the
+/// abort ratio measured from a TL2 run of the same configuration. Injecting
+/// per-attempt with probability r reproduces an aborts/(aborts+commits)
+/// ratio of r under retry.
+class AbortInjector {
+ public:
+  constexpr AbortInjector() = default;
+  constexpr explicit AbortInjector(std::uint32_t rate_bp) : rate_bp_(rate_bp) {}
+
+  static AbortInjector from_ratio(double ratio) {
+    if (ratio < 0.0) ratio = 0.0;
+    if (ratio > 0.98) ratio = 0.98;  // leave commit probability for progress
+    return AbortInjector(static_cast<std::uint32_t>(ratio * 10000.0 + 0.5));
+  }
+
+  [[nodiscard]] constexpr std::uint32_t rate_bp() const { return rate_bp_; }
+  [[nodiscard]] bool fire(Xoshiro256& rng) const {
+    return rate_bp_ != 0 && rng.chance_bp(rate_bp_);
+  }
+
+ private:
+  std::uint32_t rate_bp_ = 0;
+};
+
+namespace detail {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Bounded exponential backoff between transaction retries.
+inline void backoff(unsigned attempt) {
+  const unsigned shift = attempt < 10 ? attempt : 10;
+  for (unsigned i = 0; i < (1u << shift); ++i) cpu_relax();
+}
+
+/// Distinct seed for each protocol ThreadCtx RNG (deterministic sequence).
+inline std::uint64_t next_ctx_seed() {
+  static std::atomic<std::uint64_t> counter{0x2545f4914f6cdd1dull};
+  return counter.fetch_add(0x9e3779b97f4a7c15ull, std::memory_order_relaxed);
+}
+
+/// Times a section into stats.tx_cycles when breakdown timing is enabled.
+template <class F>
+inline void timed_section(TxStats& stats, F&& f) {
+  if (!stats.timing) {
+    f();
+    return;
+  }
+  const std::uint64_t t0 = rdtsc();
+  f();
+  stats.tx_cycles += rdtsc() - t0;
+}
+
+}  // namespace detail
+
+}  // namespace rhtm

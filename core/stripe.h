@@ -1,0 +1,110 @@
+#pragma once
+
+// Stripe (ownership-record) table: maps every address to a versioned-lock
+// word, plus the RH2 visible-reader mask array. Geometry is configurable —
+// fewer stripes / coarser granules alias more addresses onto one word and
+// manufacture false conflicts (ablation A2).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell.h"
+
+namespace rhtm {
+
+/// How RH2 readers publish themselves on the stripe read mask (paper §4.1).
+enum class MaskRmw : int {
+  kFetchAdd,  ///< one unconditional fetch-add per publish/unpublish
+  kCasLoop,   ///< compare-and-swap retry loop (the alternative it beats)
+};
+
+[[nodiscard]] inline const char* to_string(MaskRmw m) {
+  switch (m) {
+    case MaskRmw::kFetchAdd: return "fetch_add";
+    case MaskRmw::kCasLoop: return "cas_loop";
+  }
+  return "?";
+}
+
+struct StripeConfig {
+  unsigned log2_count = 16;       ///< 2^16 stripes = 512 KiB of version words
+  unsigned granularity_log2 = 5;  ///< 32-byte granules: 4 words share a stripe
+  MaskRmw mask_rmw = MaskRmw::kFetchAdd;
+};
+
+/// Versioned-lock word layout: bit 0 = locked, bits 63..1 = version.
+class StripeTable {
+ public:
+  static constexpr TmWord kLockBit = 1;
+
+  StripeTable() : StripeTable(StripeConfig{}) {}
+  explicit StripeTable(const StripeConfig& cfg)
+      : cfg_(cfg),
+        mask_(((std::size_t{1}) << cfg.log2_count) - 1),
+        words_(std::size_t{1} << cfg.log2_count),
+        read_masks_(std::size_t{1} << cfg.log2_count) {}
+
+  [[nodiscard]] std::size_t count() const { return words_.size(); }
+  [[nodiscard]] const StripeConfig& config() const { return cfg_; }
+
+  /// Address -> stripe index. Granule-aligned addresses are multiplied by a
+  /// golden-ratio constant so nearby granules spread across the table.
+  [[nodiscard]] std::size_t index_of(const void* addr) const {
+    const auto granule = reinterpret_cast<std::uintptr_t>(addr) >> cfg_.granularity_log2;
+    return (static_cast<std::uint64_t>(granule) * 0x9e3779b97f4a7c15ull >> 32) & mask_;
+  }
+
+  [[nodiscard]] TmCell& word(std::size_t i) { return words_[i]; }
+  [[nodiscard]] TmCell& read_mask(std::size_t i) { return read_masks_[i]; }
+
+  static constexpr TmWord version_of(TmWord w) { return w >> 1; }
+  static constexpr bool is_locked(TmWord w) { return (w & kLockBit) != 0; }
+  static constexpr TmWord make_word(TmWord version) { return version << 1; }
+
+  /// Software commit locking (TL2 / slow-slow path).
+  bool try_lock(std::size_t i) {
+    TmWord w = words_[i].word.load(std::memory_order_acquire);
+    if (is_locked(w)) return false;
+    return words_[i].word.compare_exchange_strong(w, w | kLockBit, std::memory_order_acq_rel);
+  }
+  void unlock_to(std::size_t i, TmWord version) {
+    words_[i].word.store(make_word(version), std::memory_order_release);
+  }
+  void unlock_restore(std::size_t i) {
+    words_[i].word.fetch_and(~kLockBit, std::memory_order_release);
+  }
+
+  /// RH2 visible-read publication: per-stripe reader counter.
+  void publish_read(std::size_t i) {
+    auto& m = read_masks_[i].word;
+    if (cfg_.mask_rmw == MaskRmw::kFetchAdd) {
+      m.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      TmWord cur = m.load(std::memory_order_acquire);
+      while (!m.compare_exchange_weak(cur, cur + 1, std::memory_order_acq_rel)) {
+      }
+    }
+  }
+  void unpublish_read(std::size_t i) {
+    auto& m = read_masks_[i].word;
+    if (cfg_.mask_rmw == MaskRmw::kFetchAdd) {
+      m.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      TmWord cur = m.load(std::memory_order_acquire);
+      while (!m.compare_exchange_weak(cur, cur - 1, std::memory_order_acq_rel)) {
+      }
+    }
+  }
+  [[nodiscard]] TmWord readers(std::size_t i) const {
+    return read_masks_[i].word.load(std::memory_order_acquire);
+  }
+
+ private:
+  StripeConfig cfg_;
+  std::size_t mask_;
+  std::vector<TmCell> words_;
+  std::vector<TmCell> read_masks_;
+};
+
+}  // namespace rhtm

@@ -1,0 +1,189 @@
+#pragma once
+
+// TL2 — the software baseline and the shared STM machinery (read/write
+// barriers and the all-software stripe-locked commit). The figure benches
+// use Tl2<H> both as the "TL2" series and as the calibration run whose
+// abort ratio is injected into the hardware-mode series. StandardHytm's
+// software fallback and PhasedTm's software phase reuse detail::tl2_run.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/universe.h"
+#include "stm/read_set.h"
+#include "stm/write_set.h"
+
+namespace rhtm {
+
+namespace detail {
+
+/// Thrown by software-path barriers/commits; caught by the retry loop.
+struct StmAbort {
+  AbortCause cause;
+};
+
+/// The post-validated software read (the TL2 read barrier's slow half,
+/// shared by the TL2 and RH2 handles): stripe word, data word, stripe word
+/// again — bracketed by the substrate's publication epoch so a hardware
+/// commit's multi-word write-back (which software readers do not otherwise
+/// synchronize with) can never interleave a torn view. Records the read in
+/// `rs` on success; throws StmAbort on a locked or too-new stripe.
+template <class H>
+inline TmWord stripe_validated_read(TmUniverse<H>& u, const TmCell& c, std::size_t s, TmWord rv,
+                                    ReadSet& rs) {
+  StripeTable& st = u.stripes();
+  for (;;) {
+    const TmWord e1 = u.htm().publication_epoch();
+    const TmWord w1 = st.word(s).word.load(std::memory_order_acquire);
+    const TmWord val = c.word.load(std::memory_order_acquire);
+    const TmWord w2 = st.word(s).word.load(std::memory_order_acquire);
+    const TmWord e2 = u.htm().publication_epoch();
+    if ((e1 & 1) != 0 || e1 != e2) {  // a publication overlapped: re-read
+      cpu_relax();
+      continue;
+    }
+    if (StripeTable::is_locked(w1)) throw StmAbort{AbortCause::kStmLocked};
+    if (w1 != w2 || StripeTable::version_of(w1) > rv) {
+      throw StmAbort{AbortCause::kStmValidation};
+    }
+    rs.add(static_cast<std::uint32_t>(s), StripeTable::version_of(w1));
+    return val;
+  }
+}
+
+/// TL2 access barriers over a universe. Read: bloom-checked write-set
+/// lookup, then stripe-validated post-read. Write: write-set insert.
+template <class H>
+struct Tl2Handle {
+  TmUniverse<H>& u;
+  ReadSet& rs;
+  WriteSet& ws;
+  TmWord rv;
+
+  TmWord load(const TmCell& c) {
+    if (const WriteEntry* e = ws.find(c)) return e->value;
+    return stripe_validated_read(u, c, u.stripes().index_of(&c), rv, rs);
+  }
+
+  void store(TmCell& c, TmWord v) {
+    ws.put(c, v, static_cast<std::uint32_t>(u.stripes().index_of(&c)));
+  }
+};
+
+/// The all-software TL2 commit: lock the write stripes, fetch a write
+/// version, revalidate the read-set, write back, release to the new
+/// version. Throws StmAbort with locks released on any failure.
+///
+/// `self_read_stripes`, when non-null, lists the stripes on which the
+/// committing transaction itself published an RH2 read mask; the commit
+/// then refuses to overwrite a stripe that carries any *other* visible
+/// reader (the RH2 slow-slow path's obligation).
+template <class H>
+inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmWord rv,
+                                std::vector<std::uint32_t>& locked,
+                                const std::vector<std::uint32_t>* self_read_stripes = nullptr) {
+  if (ws.empty()) return;  // read-only: post-validated reads suffice
+  StripeTable& st = u.stripes();
+  locked.clear();
+  const auto release_restore = [&] {
+    for (const std::uint32_t s : locked) st.unlock_restore(s);
+  };
+  const auto is_self = [&](std::uint32_t s) {
+    for (const std::uint32_t l : locked) {
+      if (l == s) return true;
+    }
+    return false;
+  };
+  for (const WriteEntry& e : ws.entries()) {
+    if (is_self(e.stripe)) continue;
+    if (!st.try_lock(e.stripe)) {
+      release_restore();
+      throw StmAbort{AbortCause::kStmLocked};
+    }
+    locked.push_back(e.stripe);
+  }
+  if (self_read_stripes != nullptr) {
+    for (const std::uint32_t s : locked) {
+      TmWord self = 0;
+      for (const std::uint32_t rs_stripe : *self_read_stripes) {
+        if (rs_stripe == s) {
+          self = 1;  // publish_once guarantees one mask per stripe
+          break;
+        }
+      }
+      if (st.readers(s) > self) {
+        release_restore();
+        throw StmAbort{AbortCause::kStmLocked};
+      }
+    }
+  }
+  const TmWord wv = u.clock().next();
+  if (!rs.validate(st, rv, is_self)) {
+    release_restore();
+    throw StmAbort{AbortCause::kStmValidation};
+  }
+  u.htm().nontx_publish(ws.entries());  // one atomic batch, not N racy stores
+  for (const std::uint32_t s : locked) st.unlock_to(s, wv);
+}
+
+/// Full TL2 transaction loop: retry until the body runs and commits.
+template <class H, class Body>
+inline void tl2_run(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws,
+                    std::vector<std::uint32_t>& lock_scratch, TxStats& stats, ExecPath path,
+                    Body& body) {
+  unsigned attempt = 0;
+  for (;;) {
+    stats.count_attempt(path);
+    rs.clear();
+    ws.clear();
+    const TmWord rv = u.clock().read();
+    Tl2Handle<H> h{u, rs, ws, rv};
+    try {
+      body(h);
+      tl2_software_commit(u, rs, ws, rv, lock_scratch);
+    } catch (const StmAbort& a) {
+      stats.count_abort(a.cause);
+      u.clock().on_abort();
+      backoff(attempt++);
+      continue;
+    }
+    stats.count_commit(path);
+    return;
+  }
+}
+
+}  // namespace detail
+
+template <class H>
+class Tl2 {
+ public:
+  struct Config {};
+
+  class ThreadCtx {
+   public:
+    explicit ThreadCtx(Tl2&) {}
+    TxStats stats;
+
+   private:
+    friend class Tl2;
+    ReadSet rs_;
+    WriteSet ws_;
+    std::vector<std::uint32_t> lock_scratch_;
+  };
+
+  explicit Tl2(TmUniverse<H>& u, Config = {}) : u_(u) {}
+
+  template <class Body>
+  void atomically(ThreadCtx& ctx, Body&& body) {
+    detail::timed_section(ctx.stats, [&] {
+      detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm, body);
+    });
+  }
+
+ private:
+  TmUniverse<H>& u_;
+};
+
+}  // namespace rhtm

@@ -1,0 +1,42 @@
+#pragma once
+
+// TmUniverse<H> — the shared world every protocol instance runs against:
+// the HTM substrate instance, the striped version-word store, and the
+// global version clock. Benches construct one universe per figure (or per
+// protocol) and instantiate protocols over it.
+
+#include "core/clock.h"
+#include "core/htm_common.h"
+#include "core/stripe.h"
+
+namespace rhtm {
+
+struct UniverseConfig {
+  HtmConfig htm;
+  StripeConfig stripe;
+  GvMode gv_mode = GvMode::kGv1;
+};
+
+template <class H>
+class TmUniverse {
+ public:
+  TmUniverse() : TmUniverse(UniverseConfig{}) {}
+  explicit TmUniverse(const UniverseConfig& cfg)
+      : cfg_(cfg), htm_(cfg.htm), stripes_(cfg.stripe), clock_(cfg.gv_mode) {}
+
+  TmUniverse(const TmUniverse&) = delete;
+  TmUniverse& operator=(const TmUniverse&) = delete;
+
+  [[nodiscard]] const UniverseConfig& config() const { return cfg_; }
+  [[nodiscard]] H& htm() { return htm_; }
+  [[nodiscard]] StripeTable& stripes() { return stripes_; }
+  [[nodiscard]] GlobalVersionClock& clock() { return clock_; }
+
+ private:
+  UniverseConfig cfg_;
+  H htm_;
+  StripeTable stripes_;
+  GlobalVersionClock clock_;
+};
+
+}  // namespace rhtm

@@ -1,0 +1,61 @@
+#pragma once
+
+// TL2-style read-set: the list of stripe indices (plus the version observed
+// at read time) a software transaction must revalidate at commit. Reads are
+// post-validated at access time, so commit-time validation only has to
+// re-check the stripes — it never touches the data words, which is what
+// gives the RH1 reduced commit its ~4x capacity headroom over the fast path
+// (one stripe word per granule of data).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell.h"
+#include "core/stripe.h"
+
+namespace rhtm {
+
+struct ReadEntry {
+  std::uint32_t stripe;
+  TmWord version;
+};
+
+class ReadSet {
+ public:
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<ReadEntry>& entries() const { return entries_; }
+
+  /// Record a validated read of `stripe` at `version`. Consecutive reads of
+  /// the same stripe (linear scans) are deduplicated for free.
+  void add(std::uint32_t stripe, TmWord version) {
+    if (!entries_.empty() && entries_.back().stripe == stripe) return;
+    entries_.push_back({stripe, version});
+  }
+
+  /// Software revalidation: every read stripe must be unlocked and still at
+  /// a version no newer than the transaction's read-version `rv`. A stripe
+  /// locked by the committing transaction itself is admitted via
+  /// `self_locked(stripe)`.
+  template <class SelfLocked>
+  [[nodiscard]] bool validate(StripeTable& stripes, TmWord rv, SelfLocked&& self_locked) const {
+    for (const ReadEntry& e : entries_) {
+      const TmWord w = stripes.word(e.stripe).word.load(std::memory_order_acquire);
+      if (StripeTable::is_locked(w) && !self_locked(e.stripe)) return false;
+      if (StripeTable::version_of(w) > rv) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool validate(StripeTable& stripes, TmWord rv) const {
+    return validate(stripes, rv, [](std::uint32_t) { return false; });
+  }
+
+ private:
+  std::vector<ReadEntry> entries_;
+};
+
+}  // namespace rhtm

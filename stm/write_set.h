@@ -1,0 +1,111 @@
+#pragma once
+
+// TL2-style redo write-set: append-only entry log with a bloom filter for
+// fast negative read-after-write lookups and an open-addressed exact index
+// for positive ones. The bloom filter admits false positives (resolved by
+// the exact index) but never false negatives — a lookup of a written cell
+// always finds its latest value.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell.h"
+
+namespace rhtm {
+
+struct WriteEntry {
+  TmCell* cell;
+  TmWord value;
+  std::uint32_t stripe;
+};
+
+class WriteSet {
+ public:
+  WriteSet() : slot_cells_(kInitialSlots, nullptr), slot_idx_(kInitialSlots, 0),
+               slot_epoch_(kInitialSlots, 0) {}
+
+  void clear() {
+    entries_.clear();
+    bloom_ = 0;
+    ++epoch_;
+    if (epoch_ == 0) {
+      std::fill(slot_epoch_.begin(), slot_epoch_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<WriteEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::vector<WriteEntry>& entries() { return entries_; }
+
+  /// Insert or overwrite the buffered value for `cell`.
+  void put(TmCell& cell, TmWord value, std::uint32_t stripe) {
+    const std::uint64_t h = hash(&cell);
+    bloom_ |= bloom_bit(h);
+    if (entries_.size() * 4 >= slot_cells_.size() * 3) grow();
+    const std::size_t mask = slot_cells_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (slot_epoch_[i] == epoch_) {
+      if (slot_cells_[i] == &cell) {
+        entries_[slot_idx_[i]].value = value;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+    slot_cells_[i] = &cell;
+    slot_idx_[i] = static_cast<std::uint32_t>(entries_.size());
+    slot_epoch_[i] = epoch_;
+    entries_.push_back({&cell, value, stripe});
+  }
+
+  /// Latest buffered entry for `cell`, or nullptr. The bloom check makes the
+  /// common miss (read of an unwritten cell) one AND + branch.
+  [[nodiscard]] WriteEntry* find(const TmCell& cell) {
+    const std::uint64_t h = hash(&cell);
+    if ((bloom_ & bloom_bit(h)) == 0) return nullptr;
+    const std::size_t mask = slot_cells_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (slot_epoch_[i] == epoch_) {
+      if (slot_cells_[i] == &cell) return &entries_[slot_idx_[i]];
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1024;
+
+  static std::uint64_t hash(const TmCell* cell) {
+    return (static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(cell)) >> 3) *
+           0x9e3779b97f4a7c15ull >> 13;
+  }
+  static std::uint64_t bloom_bit(std::uint64_t h) { return std::uint64_t{1} << (h & 63); }
+
+  void grow() {
+    const std::size_t n = slot_cells_.size() * 2;
+    slot_cells_.assign(n, nullptr);
+    slot_idx_.assign(n, 0);
+    slot_epoch_.assign(n, 0);
+    epoch_ = 1;
+    const std::size_t mask = n - 1;
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      std::size_t i = static_cast<std::size_t>(hash(entries_[e].cell)) & mask;
+      while (slot_epoch_[i] == epoch_) i = (i + 1) & mask;
+      slot_cells_[i] = entries_[e].cell;
+      slot_idx_[i] = static_cast<std::uint32_t>(e);
+      slot_epoch_[i] = epoch_;
+    }
+  }
+
+  std::vector<WriteEntry> entries_;
+  std::uint64_t bloom_ = 0;
+  std::vector<TmCell*> slot_cells_;
+  std::vector<std::uint32_t> slot_idx_;
+  std::vector<std::uint32_t> slot_epoch_;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace rhtm

@@ -1,0 +1,89 @@
+// The RH1 -> RH2 -> slow-slow escalation chain (ablation A3's mechanism):
+// on a small simulated hardware budget, growing transaction footprints must
+// fall off the fast path, survive on the reduced commit to ~the metadata
+// ratio, then land on RH2 / slow-slow — and still commit correctly.
+
+#include <vector>
+
+#include "core/rhtm.h"
+#include "workloads/driver.h"
+#include "test_common.h"
+
+namespace rhtm {
+namespace {
+
+std::uint64_t commits_on(const TxStats& s, ExecPath p) {
+  return s.commits_by_path[static_cast<std::size_t>(p)];
+}
+
+void escalation_chain() {
+  UniverseConfig ucfg;
+  ucfg.htm.max_read_set = 64;
+  ucfg.htm.max_write_set = 64;
+  ucfg.htm.line_shift = 3;           // one word per line: exact accounting
+  ucfg.stripe.granularity_log2 = 5;  // 4 words per stripe
+  TmUniverse<HtmSim> u(ucfg);
+  SimHybridTm::Config cfg;
+  cfg.slow_retry_percent = 100;
+  SimHybridTm tm(u, cfg);
+  SimHybridTm::ThreadCtx ctx(tm);
+
+  std::vector<TVar<TmWord>> data(4096);
+
+  const auto sweep = [&](std::size_t len) {
+    return run_capacity_pressure(tm, ctx, 20,
+                                 [&](auto& m, auto& c, Xoshiro256&, unsigned) {
+                                   m.atomically(c, [&](auto& tx) {
+                                     TmWord sum = 0;
+                                     for (std::size_t w = 0; w < len; ++w) {
+                                       sum += data[w].read(tx);
+                                       if (w % 16 == 0) data[w].write(tx, sum);
+                                     }
+                                   });
+                                 });
+  };
+
+  // Small footprint: all fast.
+  const TxStats small = sweep(16);
+  CHECK_EQ(commits_on(small, ExecPath::kRh1Fast), 20u);
+
+  // Past the read budget (64 words) but within the reduced commit's
+  // metadata budget (64 stripes = 256 words): RH1 slow.
+  const TxStats mid = sweep(160);
+  CHECK_EQ(commits_on(mid, ExecPath::kRh1Fast), 0u);
+  CHECK_EQ(commits_on(mid, ExecPath::kRh1Slow), 20u);
+
+  // Past the reduced commit too (> 256 words of read footprint): RH2 or the
+  // all-software slow-slow path.
+  const TxStats big = sweep(1024);
+  CHECK_EQ(commits_on(big, ExecPath::kRh1Fast), 0u);
+  CHECK_EQ(commits_on(big, ExecPath::kRh1Slow), 0u);
+  CHECK_EQ(commits_on(big, ExecPath::kRh2Slow) + commits_on(big, ExecPath::kRh2SlowSlow), 20u);
+}
+
+void oversized_transactions_still_commit() {
+  TmUniverse<HtmSim> u;  // default 512-entry write budget
+  SimHybridTm::Config cfg;
+  cfg.slow_retry_percent = 100;
+  SimHybridTm tm(u, cfg);
+  SimHybridTm::ThreadCtx ctx(tm);
+
+  std::vector<TVar<TmWord>> cells(2048);
+  tm.atomically(ctx, [&](auto& tx) {
+    for (std::size_t i = 0; i < 700; ++i) cells[i].write(tx, i + 1);  // > write budget
+  });
+  for (std::size_t i = 0; i < 700; ++i) CHECK_EQ(cells[i].unsafe_read(), i + 1);
+  CHECK_EQ(ctx.stats.commits, 1u);
+  CHECK_EQ(commits_on(ctx.stats, ExecPath::kRh1Fast), 0u);
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      TestCase{"escalation_chain", rhtm::escalation_chain},
+      TestCase{"oversized_transactions_still_commit", rhtm::oversized_transactions_still_commit},
+  });
+}

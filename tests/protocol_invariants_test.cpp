@@ -1,0 +1,176 @@
+// Cross-protocol serializability smoke tests on the simulated substrate:
+// concurrent bank transfers must conserve the total, and concurrent readers
+// must never observe a torn snapshot — for every protocol the benches run.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/rhtm.h"
+#include "test_common.h"
+
+namespace rhtm {
+namespace {
+
+constexpr std::size_t kAccounts = 64;
+constexpr TmWord kInitialEach = 100;
+constexpr TmWord kTotal = kAccounts * kInitialEach;
+
+template <class Tm>
+void bank_test(TmUniverse<HtmSim>& u, Tm& tm, unsigned writers) {
+  std::vector<TVar<TmWord>> accounts(kAccounts);
+  for (auto& a : accounts) a.unsafe_write(kInitialEach);
+  (void)u;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      typename Tm::ThreadCtx ctx(tm);
+      Xoshiro256 rng(1000 + t);
+      for (int i = 0; i < 4000; ++i) {
+        const std::size_t from = rng.below(kAccounts);
+        const std::size_t to = rng.below(kAccounts);
+        const TmWord amount = rng.below(5);
+        tm.atomically(ctx, [&](auto& tx) {
+          const TmWord f = accounts[from].read(tx);
+          if (f >= amount) {
+            accounts[from].write(tx, f - amount);
+            accounts[to].write(tx, accounts[to].read(tx) + amount);
+          }
+        });
+      }
+    });
+  }
+  // A reader thread summing all accounts transactionally.
+  threads.emplace_back([&] {
+    typename Tm::ThreadCtx ctx(tm);
+    while (!stop.load(std::memory_order_acquire)) {
+      TmWord sum = 0;
+      tm.atomically(ctx, [&](auto& tx) {
+        TmWord s = 0;
+        for (const auto& a : accounts) s += a.read(tx);
+        sum = s;
+      });
+      if (sum != kTotal) torn.store(true);
+    }
+  });
+  for (unsigned t = 0; t < writers; ++t) threads[t].join();
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+
+  CHECK(!torn.load());
+  TmWord final_total = 0;
+  for (const auto& a : accounts) final_total += a.unsafe_read();
+  CHECK_EQ(final_total, kTotal);
+}
+
+void tl2_bank() {
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  bank_test(u, tm, 4);
+}
+
+void htm_only_bank() {
+  TmUniverse<HtmSim> u;
+  HtmOnly<HtmSim> tm(u);
+  bank_test(u, tm, 4);
+}
+
+void standard_hytm_bank() {
+  TmUniverse<HtmSim> u;
+  StandardHytm<HtmSim> tm(u);  // with software fallback enabled
+  bank_test(u, tm, 4);
+}
+
+void rh1_fast_bank() {
+  TmUniverse<HtmSim> u;
+  HybridTm<HtmSim>::Config cfg;
+  cfg.slow_retry_percent = 0;
+  HybridTm<HtmSim> tm(u, cfg);
+  bank_test(u, tm, 4);
+}
+
+void rh1_mixed_bank() {
+  TmUniverse<HtmSim> u;
+  HybridTm<HtmSim>::Config cfg;
+  cfg.slow_retry_percent = 100;
+  cfg.inject_abort_bp = 2000;  // force plenty of slow-path traffic
+  HybridTm<HtmSim> tm(u, cfg);
+  bank_test(u, tm, 4);
+}
+
+void rh1_forced_slow_bank() {
+  TmUniverse<HtmSim> u;
+  HybridTm<HtmSim>::Config cfg;
+  cfg.force_slow_path = true;
+  HybridTm<HtmSim> tm(u, cfg);
+  bank_test(u, tm, 4);
+}
+
+void rh2_forced_bank() {
+  TmUniverse<HtmSim> u;
+  HybridTm<HtmSim>::Config cfg;
+  cfg.force_rh2 = true;
+  HybridTm<HtmSim> tm(u, cfg);
+  bank_test(u, tm, 4);
+}
+
+void rh1_adaptive_bank() {
+  TmUniverse<HtmSim> u;
+  HybridTm<HtmSim>::Config cfg;
+  cfg.retry_policy = HybridTm<HtmSim>::RetryPolicy::kAdaptive;
+  cfg.inject_abort_bp = 5000;
+  HybridTm<HtmSim> tm(u, cfg);
+  bank_test(u, tm, 4);
+}
+
+void hybrid_norec_bank() {
+  TmUniverse<HtmSim> u;
+  HybridNorec<HtmSim>::Config cfg;
+  cfg.inject_abort_bp = 2000;  // push traffic onto the software path too
+  HybridNorec<HtmSim> tm(u, cfg);
+  bank_test(u, tm, 4);
+}
+
+void phased_bank() {
+  TmUniverse<HtmSim> u;
+  PhasedTm<HtmSim>::Config cfg;
+  cfg.inject_abort_bp = 2000;  // force phase transitions
+  PhasedTm<HtmSim> tm(u, cfg);
+  bank_test(u, tm, 4);
+  CHECK_EQ(tm.software_pending(), 0u);  // phases drained
+}
+
+void gv6_mixed_bank() {
+  UniverseConfig ucfg;
+  ucfg.gv_mode = GvMode::kGv6;
+  TmUniverse<HtmSim> u(ucfg);
+  HybridTm<HtmSim>::Config cfg;
+  cfg.slow_retry_percent = 100;
+  cfg.inject_abort_bp = 2000;
+  HybridTm<HtmSim> tm(u, cfg);
+  bank_test(u, tm, 4);
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      TestCase{"tl2_bank", rhtm::tl2_bank},
+      TestCase{"htm_only_bank", rhtm::htm_only_bank},
+      TestCase{"standard_hytm_bank", rhtm::standard_hytm_bank},
+      TestCase{"rh1_fast_bank", rhtm::rh1_fast_bank},
+      TestCase{"rh1_mixed_bank", rhtm::rh1_mixed_bank},
+      TestCase{"rh1_forced_slow_bank", rhtm::rh1_forced_slow_bank},
+      TestCase{"rh2_forced_bank", rhtm::rh2_forced_bank},
+      TestCase{"rh1_adaptive_bank", rhtm::rh1_adaptive_bank},
+      TestCase{"hybrid_norec_bank", rhtm::hybrid_norec_bank},
+      TestCase{"phased_bank", rhtm::phased_bank},
+      TestCase{"gv6_mixed_bank", rhtm::gv6_mixed_bank},
+  });
+}

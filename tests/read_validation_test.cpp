@@ -1,0 +1,99 @@
+// Read-set validation: direct unit checks against a stripe table, plus the
+// TL2 invariant under a live concurrent writer — a reader transaction must
+// never observe a torn x+y snapshot.
+
+#include <atomic>
+#include <thread>
+
+#include "core/rhtm.h"
+#include "stm/read_set.h"
+#include "test_common.h"
+
+namespace rhtm {
+namespace {
+
+void validate_detects_version_bump() {
+  StripeTable st;
+  ReadSet rs;
+  rs.add(5, 0);
+  rs.add(9, 0);
+  CHECK(rs.validate(st, /*rv=*/0));
+  st.unlock_to(9, 3);  // stripe 9 now at version 3
+  CHECK(!rs.validate(st, /*rv=*/0));  // newer than rv: stale read set
+  CHECK(rs.validate(st, /*rv=*/3));   // admitted once rv catches up
+}
+
+void validate_detects_foreign_lock() {
+  StripeTable st;
+  ReadSet rs;
+  rs.add(4, 0);
+  CHECK(st.try_lock(4));
+  CHECK(!rs.validate(st, /*rv=*/10));  // locked by someone else
+  CHECK(rs.validate(st, /*rv=*/10, [](std::uint32_t s) { return s == 4; }));  // self-lock ok
+  st.unlock_restore(4);
+  CHECK(rs.validate(st, /*rv=*/10));
+}
+
+void consecutive_dedup() {
+  ReadSet rs;
+  rs.add(3, 1);
+  rs.add(3, 1);
+  rs.add(3, 1);
+  rs.add(4, 1);
+  CHECK_EQ(rs.size(), 2u);
+}
+
+/// TL2 over the simulated substrate: a writer keeps moving value between two
+/// cells keeping x + y == 100; readers must always see the invariant.
+void snapshot_invariant_under_concurrent_writer() {
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  TVar<TmWord> x(70);
+  TVar<TmWord> y(30);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::thread writer([&] {
+    Tl2<HtmSim>::ThreadCtx ctx(tm);
+    Xoshiro256 rng(42);
+    while (!stop.load(std::memory_order_acquire)) {
+      const TmWord delta = rng.below(10);
+      tm.atomically(ctx, [&](auto& tx) {
+        const TmWord xv = x.read(tx);
+        const TmWord yv = y.read(tx);
+        if (xv >= delta) {
+          x.write(tx, xv - delta);
+          y.write(tx, yv + delta);
+        }
+      });
+    }
+  });
+
+  {
+    Tl2<HtmSim>::ThreadCtx ctx(tm);
+    for (int i = 0; i < 20000; ++i) {
+      TmWord sum = 0;
+      tm.atomically(ctx, [&](auto& tx) { sum = x.read(tx) + y.read(tx); });
+      if (sum != 100) torn.store(true);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  CHECK(!torn.load());
+  CHECK_EQ(x.unsafe_read() + y.unsafe_read(), 100u);
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      TestCase{"validate_detects_version_bump", rhtm::validate_detects_version_bump},
+      TestCase{"validate_detects_foreign_lock", rhtm::validate_detects_foreign_lock},
+      TestCase{"consecutive_dedup", rhtm::consecutive_dedup},
+      TestCase{"snapshot_invariant_under_concurrent_writer",
+               rhtm::snapshot_invariant_under_concurrent_writer},
+  });
+}

@@ -1,0 +1,63 @@
+#pragma once
+
+// Minimal dependency-free test harness: CHECK/CHECK_EQ macros and a runner.
+// Each test file defines TESTS as a list of {name, fn} and calls RUN_TESTS.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rhtm::test {
+
+inline int g_failures = 0;
+
+#define CHECK(cond)                                                               \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      std::printf("    CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond);  \
+      ++rhtm::test::g_failures;                                                   \
+    }                                                                             \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                                        \
+  do {                                                                                        \
+    const auto va = (a);                                                                      \
+    const auto vb = (b);                                                                      \
+    if (!(va == vb)) {                                                                        \
+      std::printf("    CHECK_EQ failed at %s:%d: %s (%llu) != %s (%llu)\n", __FILE__,         \
+                  __LINE__, #a, static_cast<unsigned long long>(va), #b,                      \
+                  static_cast<unsigned long long>(vb));                                       \
+      ++rhtm::test::g_failures;                                                               \
+    }                                                                                         \
+  } while (0)
+
+struct TestCase {
+  const char* name;
+  std::function<void()> fn;
+};
+
+inline int run_tests(const std::vector<TestCase>& tests) {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);  // survive a timeout kill with output intact
+  int failed = 0;
+  for (const TestCase& t : tests) {
+    const int before = g_failures;
+    std::printf("[ RUN  ] %s\n", t.name);
+    t.fn();
+    if (g_failures == before) {
+      std::printf("[  OK  ] %s\n", t.name);
+    } else {
+      std::printf("[ FAIL ] %s\n", t.name);
+      ++failed;
+    }
+  }
+  if (failed == 0) {
+    std::printf("ALL %zu TESTS PASSED\n", tests.size());
+    return 0;
+  }
+  std::printf("%d TEST(S) FAILED\n", failed);
+  return 1;
+}
+
+}  // namespace rhtm::test

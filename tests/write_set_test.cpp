@@ -1,0 +1,100 @@
+// Write-set: the bloom filter must never produce a false negative, lookups
+// must return the latest buffered value, and clear() must actually forget.
+
+#include <vector>
+
+#include "core/rng.h"
+#include "stm/write_set.h"
+#include "test_common.h"
+
+namespace rhtm {
+namespace {
+
+void no_false_negatives() {
+  WriteSet ws;
+  std::vector<TmCell> cells(4096);
+  Xoshiro256 rng(7);
+  std::vector<std::size_t> written;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t idx = rng.below(cells.size());
+    ws.put(cells[idx], static_cast<TmWord>(idx), static_cast<std::uint32_t>(idx & 255));
+    written.push_back(idx);
+  }
+  for (const std::size_t idx : written) {
+    const WriteEntry* e = ws.find(cells[idx]);
+    CHECK(e != nullptr);  // a written cell is ALWAYS found
+    if (e != nullptr) CHECK_EQ(e->value, static_cast<TmWord>(idx));
+  }
+}
+
+void absent_cells_not_found() {
+  WriteSet ws;
+  std::vector<TmCell> cells(1024);
+  for (std::size_t i = 0; i < 512; ++i) {
+    ws.put(cells[i], i, 0);
+  }
+  for (std::size_t i = 512; i < 1024; ++i) {
+    // Bloom false positives are allowed internally but the exact index must
+    // resolve them: find() never claims an unwritten cell was written.
+    CHECK(ws.find(cells[i]) == nullptr);
+  }
+}
+
+void overwrite_keeps_one_entry() {
+  WriteSet ws;
+  TmCell cell;
+  ws.put(cell, 1, 9);
+  ws.put(cell, 2, 9);
+  ws.put(cell, 3, 9);
+  CHECK_EQ(ws.size(), 1u);
+  const WriteEntry* e = ws.find(cell);
+  CHECK(e != nullptr && e->value == 3);
+  CHECK_EQ(ws.entries()[0].stripe, 9u);
+}
+
+void clear_forgets() {
+  WriteSet ws;
+  std::vector<TmCell> cells(256);
+  for (auto& c : cells) ws.put(c, 1, 0);
+  CHECK_EQ(ws.size(), 256u);
+  ws.clear();
+  CHECK(ws.empty());
+  for (auto& c : cells) CHECK(ws.find(c) == nullptr);
+  // Reusable after clear.
+  ws.put(cells[0], 5, 1);
+  const WriteEntry* e = ws.find(cells[0]);
+  CHECK(e != nullptr && e->value == 5);
+}
+
+void many_epochs_and_growth() {
+  WriteSet ws;
+  std::vector<TmCell> cells(8192);
+  for (int round = 0; round < 50; ++round) {
+    ws.clear();
+    for (std::size_t i = 0; i < cells.size(); i += 3) {
+      ws.put(cells[i], static_cast<TmWord>(i + round), 0);
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const WriteEntry* e = ws.find(cells[i]);
+      if (i % 3 == 0) {
+        CHECK(e != nullptr && e->value == static_cast<TmWord>(i + round));
+      } else {
+        CHECK(e == nullptr);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      TestCase{"no_false_negatives", rhtm::no_false_negatives},
+      TestCase{"absent_cells_not_found", rhtm::absent_cells_not_found},
+      TestCase{"overwrite_keeps_one_entry", rhtm::overwrite_keeps_one_entry},
+      TestCase{"clear_forgets", rhtm::clear_forgets},
+      TestCase{"many_epochs_and_growth", rhtm::many_epochs_and_growth},
+  });
+}

@@ -1,0 +1,163 @@
+#pragma once
+
+// Measurement drivers: multi-threaded throughput, the single-thread cycle
+// breakdown (paper Fig. 2 bottom), and a footprint-sweep helper for
+// capacity-path experiments.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/rhtm.h"
+
+namespace rhtm {
+
+struct ThroughputResult {
+  std::uint64_t total_ops = 0;
+  double seconds = 0;
+  TxStats stats;
+
+  /// aborts / (aborts + commits) — the paper's abort-ratio metric.
+  [[nodiscard]] double abort_ratio() const {
+    const double a = static_cast<double>(stats.aborts);
+    const double c = static_cast<double>(stats.commits);
+    return a + c > 0 ? a / (a + c) : 0.0;
+  }
+};
+
+/// Drives `op(tm, ctx, rng, tid)` — one transaction per call — on `threads`
+/// threads for `seconds`, aggregating per-thread TxStats.
+template <class Tm, class Op>
+ThroughputResult run_throughput(Tm& tm, unsigned threads, double seconds, Op&& op) {
+  struct PerThread {
+    std::uint64_t ops = 0;
+    TxStats stats;
+  };
+  std::vector<PerThread> slots(threads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      typename Tm::ThreadCtx ctx(tm);
+      Xoshiro256 rng(0x853c49e6748fea9bull ^ (static_cast<std::uint64_t>(tid) + 1) *
+                                                 0x9e3779b97f4a7c15ull);
+      while (!go.load(std::memory_order_acquire)) {
+        detail::cpu_relax();
+      }
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(seconds);
+      std::uint64_t ops = 0;
+      do {
+        op(tm, ctx, rng, tid);
+        ++ops;
+      } while (std::chrono::steady_clock::now() < deadline);
+      slots[tid].ops = ops;
+      slots[tid].stats = ctx.stats;
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ThroughputResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const PerThread& s : slots) {
+    r.total_ops += s.ops;
+    r.stats.merge(s.stats);
+  }
+  return r;
+}
+
+/// Single-thread cycle breakdown (paper Fig. 2 bottom). Percentages follow
+/// the paper's table semantics: read/write = time inside the access
+/// barriers (zero by construction for barrier-free paths), commit = begin/
+/// commit machinery (time inside atomically() minus time inside the body),
+/// private = body time not spent in barriers, intertx = everything between
+/// transactions.
+struct BreakdownResult {
+  double read_pct = 0;
+  double write_pct = 0;
+  double commit_pct = 0;
+  double private_pct = 0;
+  double intertx_pct = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t commits = 0;
+};
+
+/// `fn(tm, ctx, rng, stats, body_cycles)` must run one transaction through a
+/// TimedHandle, accumulating the rdtsc span of each body execution into
+/// `body_cycles` (see bench/fig2_breakdown.cpp).
+template <class Tm, class Fn>
+BreakdownResult run_breakdown(Tm& tm, double seconds, Fn&& fn) {
+  typename Tm::ThreadCtx ctx(tm);
+  ctx.stats.timing = true;
+  Xoshiro256 rng(0x9e3779b97f4a7c15ull);
+  std::uint64_t body_cycles = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+  const std::uint64_t c0 = rdtsc();
+  do {
+    fn(tm, ctx, rng, ctx.stats, body_cycles);
+  } while (std::chrono::steady_clock::now() < deadline);
+  const std::uint64_t total = rdtsc() - c0;
+
+  const TxStats& s = ctx.stats;
+  BreakdownResult b;
+  if (total > 0) {
+    const auto pct = [&](std::uint64_t cycles) {
+      return 100.0 * static_cast<double>(cycles) / static_cast<double>(total);
+    };
+    const std::uint64_t barrier = s.read_cycles + s.write_cycles;
+    const std::uint64_t commit = s.tx_cycles > body_cycles ? s.tx_cycles - body_cycles : 0;
+    const std::uint64_t priv = body_cycles > barrier ? body_cycles - barrier : 0;
+    const std::uint64_t intertx = total > s.tx_cycles ? total - s.tx_cycles : 0;
+    b.read_pct = pct(s.read_cycles);
+    b.write_pct = pct(s.write_cycles);
+    b.commit_pct = pct(commit);
+    b.private_pct = pct(priv);
+    b.intertx_pct = pct(intertx);
+  }
+  b.reads = s.reads;
+  b.writes = s.writes;
+  b.aborts = s.aborts;
+  b.commits = s.commits;
+  return b;
+}
+
+/// Runs `op` `ops` times single-threaded and returns the TxStats delta —
+/// the building block for footprint sweeps that classify which execution
+/// path (fast / RH1-slow / RH2 / slow-slow) ends up committing.
+template <class Tm, class Op>
+TxStats run_capacity_pressure(Tm& tm, typename Tm::ThreadCtx& ctx, int ops, Op&& op) {
+  const TxStats before = ctx.stats;
+  Xoshiro256 rng(0xda3e39cb94b95bdbull);
+  for (int i = 0; i < ops; ++i) {
+    op(tm, ctx, rng, 0u);
+  }
+  TxStats delta = ctx.stats;
+  // Convert to a delta (arrays subtract element-wise).
+  delta.commits -= before.commits;
+  delta.aborts -= before.aborts;
+  delta.reads -= before.reads;
+  delta.writes -= before.writes;
+  delta.read_cycles -= before.read_cycles;
+  delta.write_cycles -= before.write_cycles;
+  delta.tx_cycles -= before.tx_cycles;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(ExecPath::kCount); ++i) {
+    delta.commits_by_path[i] -= before.commits_by_path[i];
+    delta.attempts_by_path[i] -= before.attempts_by_path[i];
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
+    delta.aborts_by_cause[i] -= before.aborts_by_cause[i];
+  }
+  return delta;
+}
+
+}  // namespace rhtm

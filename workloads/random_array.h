@@ -1,0 +1,46 @@
+#pragma once
+
+// Random array (paper §3.3, Fig. 3 right): transactions of a configurable
+// length touching uniformly random words of a large array — the knob for
+// sweeping transaction length and write fraction independently of any data
+// structure's access pattern.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell.h"
+#include "core/rng.h"
+
+namespace rhtm {
+
+class RandomArray {
+ public:
+  explicit RandomArray(std::size_t n) : cells_(n) {
+    for (std::size_t i = 0; i < n; ++i) cells_[i].unsafe_write(static_cast<TmWord>(i));
+  }
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  /// One transaction body: `len` accesses at random indices, each a write
+  /// with probability write_percent/100, otherwise a read accumulated into
+  /// the returned checksum.
+  template <class Handle>
+  TmWord op(Handle& h, Xoshiro256& rng, unsigned len, unsigned write_percent) const {
+    TmWord sum = 0;
+    for (unsigned i = 0; i < len; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(rng.below(cells_.size()));
+      if (rng.percent_chance(write_percent)) {
+        cells_[idx].write(h, sum + i);
+      } else {
+        sum += cells_[idx].read(h);
+      }
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<TVar<TmWord>> cells_;
+};
+
+}  // namespace rhtm

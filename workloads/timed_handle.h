@@ -1,0 +1,47 @@
+#pragma once
+
+// TimedHandle — a transparent wrapper over any protocol handle that counts
+// every access and (per template flags) attributes its rdtsc span to the
+// read/write barrier buckets of the breakdown instrumentation. A path whose
+// accesses are not timed (kTimeReads/kTimeWrites = false) reports zero
+// barrier time by construction; its accesses land in "private" time.
+
+#include "core/cell.h"
+#include "core/stats.h"
+
+namespace rhtm {
+
+template <class Inner, bool kTimeReads, bool kTimeWrites>
+class TimedHandle {
+ public:
+  TimedHandle(Inner& inner, TxStats& stats) : inner_(inner), stats_(stats) {}
+
+  TmWord load(const TmCell& c) {
+    ++stats_.reads;
+    if constexpr (kTimeReads) {
+      const std::uint64_t t0 = rdtsc();
+      const TmWord v = inner_.load(c);
+      stats_.read_cycles += rdtsc() - t0;
+      return v;
+    } else {
+      return inner_.load(c);
+    }
+  }
+
+  void store(TmCell& c, TmWord v) {
+    ++stats_.writes;
+    if constexpr (kTimeWrites) {
+      const std::uint64_t t0 = rdtsc();
+      inner_.store(c, v);
+      stats_.write_cycles += rdtsc() - t0;
+    } else {
+      inner_.store(c, v);
+    }
+  }
+
+ private:
+  Inner& inner_;
+  TxStats& stats_;
+};
+
+}  // namespace rhtm
