@@ -7,12 +7,12 @@
 
 #include <array>
 
-#include "bench_common.h"
+#include "registry.h"
 
 namespace rhtm::bench {
-namespace {
 
-void run(const Options& opt) {
+RHTM_SCENARIO(ablation_capacity, "§1.2 (A3)",
+              "fast -> RH1-slow -> RH2 -> slow-slow escalation vs transaction footprint") {
   constexpr std::size_t kCapacity = 128;  // HTM budget, in tracked entries
   UniverseConfig ucfg;
   ucfg.htm.max_read_set = kCapacity;
@@ -31,11 +31,17 @@ void run(const Options& opt) {
   constexpr std::size_t kWords = 4096;
   std::vector<TVar<TmWord>> data(kWords);
 
-  std::printf("# Ablation A3 - slow-path capacity headroom "
-              "(HTM budget=%zu entries, stripes of 4 words, sim)\n",
-              kCapacity);
-  std::printf("%-10s %10s %10s %10s %12s\n", "tx_words", "fast%", "rh1slow%", "rh2%",
-              "slowslow%");
+  report::BenchReport rep;
+  rep.substrate = "sim";
+  rep.set_meta("htm_budget_entries", std::to_string(kCapacity));
+  rep.set_meta("note",
+               "expectation: fast dies past the budget; the RH1 slow commit (metadata-only "
+               "HTM) survives to ~4x that; larger still falls to RH2 / slow-slow");
+  report::TableData& table = rep.add_table(
+      "Ablation A3 - slow-path capacity headroom (HTM budget=" + std::to_string(kCapacity) +
+          " entries, stripes of 4 words, sim)",
+      report::TableStyle::kWide, "tx_words", "fast_pct");
+  report::SeriesData& series = table.add_series("RH1-Mix100");
 
   for (const std::size_t len : {32ul, 96ul, 160ul, 320ul, 480ul, 640ul, 1280ul, 2560ul}) {
     const int kOps = std::max(4, static_cast<int>(opt.seconds * 4000));
@@ -58,18 +64,13 @@ void run(const Options& opt) {
     const auto pct = [&](ExecPath p) {
       return 100.0 * static_cast<double>(delta[static_cast<std::size_t>(p)]) / total;
     };
-    std::printf("%-10zu %10.1f %10.1f %10.1f %12.1f\n", len, pct(ExecPath::kRh1Fast),
-                pct(ExecPath::kRh1Slow), pct(ExecPath::kRh2Slow), pct(ExecPath::kRh2SlowSlow));
+    report::Point& point = series.add_point(static_cast<double>(len));
+    point.set("fast_pct", pct(ExecPath::kRh1Fast));
+    point.set("rh1_slow_pct", pct(ExecPath::kRh1Slow));
+    point.set("rh2_pct", pct(ExecPath::kRh2Slow));
+    point.set("slow_slow_pct", pct(ExecPath::kRh2SlowSlow));
   }
-  std::printf("# expectation: fast dies past ~%zu words; the RH1 slow commit (metadata-only\n"
-              "# HTM) survives to ~4x that; larger still falls to RH2 / slow-slow.\n",
-              kCapacity);
+  return rep;
 }
 
-}  // namespace
 }  // namespace rhtm::bench
-
-int main(int argc, char** argv) {
-  rhtm::bench::run(rhtm::bench::Options::parse(argc, argv));
-  return 0;
-}

@@ -7,20 +7,23 @@
 // workload under all three policies on the simulated substrate and reports
 // throughput and the abort breakdown.
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/random_array.h"
 
 namespace rhtm::bench {
-namespace {
 
-void run(const Options& opt) {
+RHTM_SCENARIO(ablation_clock, "§2.2 (A1)",
+              "GV1 / GV4 / GV6 clock policies: throughput + abort breakdown") {
   RandomArray array(64 * 1024);
   const unsigned threads = 4;
 
-  std::printf("# Ablation A1 - clock policy (RH1 Mixed 100, random array, %u threads, sim)\n",
-              threads);
-  std::printf("%-6s %14s %12s %14s %14s\n", "mode", "total_ops", "abort_ratio", "htm_conflicts",
-              "stm_validation");
+  report::BenchReport rep;
+  rep.substrate = "sim";
+  rep.set_meta("workload", "random_array/65536 len=64 write=20%");
+  report::TableData& table = rep.add_table(
+      "Ablation A1 - clock policy (RH1 Mixed 100, random array, " +
+          std::to_string(threads) + " threads, sim)",
+      report::TableStyle::kWide);
 
   for (const GvMode mode : {GvMode::kGv1, GvMode::kGv4, GvMode::kGv6}) {
     UniverseConfig ucfg;
@@ -38,19 +41,17 @@ void run(const Options& opt) {
                            do_not_optimize(array.op(tx, rng, 64, 20));
                          });
                        });
-    std::printf("%-6s %14llu %12.3f %14llu %14llu\n", to_string(mode),
-                static_cast<unsigned long long>(r.total_ops), r.abort_ratio(),
-                static_cast<unsigned long long>(
-                    r.stats.aborts_by_cause[static_cast<std::size_t>(AbortCause::kHtmConflict)]),
-                static_cast<unsigned long long>(
-                    r.stats.aborts_by_cause[static_cast<std::size_t>(AbortCause::kStmValidation)]));
+    report::Point& p = table.add_series(to_string(mode)).add_point(threads);
+    p.set("total_ops", static_cast<double>(r.total_ops));
+    p.set("abort_ratio", r.abort_ratio());
+    p.set("htm_conflicts",
+          static_cast<double>(
+              r.stats.aborts_by_cause[static_cast<std::size_t>(AbortCause::kHtmConflict)]));
+    p.set("stm_validation",
+          static_cast<double>(
+              r.stats.aborts_by_cause[static_cast<std::size_t>(AbortCause::kStmValidation)]));
   }
+  return rep;
 }
 
-}  // namespace
 }  // namespace rhtm::bench
-
-int main(int argc, char** argv) {
-  rhtm::bench::run(rhtm::bench::Options::parse(argc, argv));
-  return 0;
-}

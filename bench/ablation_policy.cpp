@@ -5,67 +5,73 @@
 // Expected shape: at low pressure, adaptive ≈ Mixed-0 (plenty of hardware
 // retries, none wasted); at high pressure, adaptive ≈ Mixed-100 (immediate
 // fallback) while Mixed-10 burns ~10 hardware attempts per transaction.
+//
+// Mixed-0 is skipped at 100% injection: it never falls back, so it would
+// retry in hardware forever — the degenerate case the fallback exists for.
+// Its series simply has no point at inject_bp=10000.
 
-#include "bench_common.h"
+#include "registry.h"
 
 namespace rhtm::bench {
 namespace {
 
-struct PolicyPoint {
-  const char* name;
-  std::uint64_t ops;
-  double fast_attempts_per_op;
-};
+constexpr unsigned kThreads = 4;
 
-void run(const Options& opt) {
-  constexpr unsigned kThreads = 4;
-  std::printf("# Ablation A6 - retry policy vs abort pressure "
-              "(counter array, %u threads, sim)\n",
-              kThreads);
-  std::printf("%-12s %-10s %14s %18s\n", "inject", "policy", "total_ops", "fast_tries/op");
-
-  for (const std::uint32_t inject_bp : {0u, 1000u, 5000u, 10000u}) {
-    const auto run_policy = [&](const char* name, auto configure) {
-      TmUniverse<HtmSim> u;
-      std::vector<TVar<TmWord>> cells(256);
-      typename HybridTm<HtmSim>::Config cfg;
-      cfg.inject_abort_bp = inject_bp;
-      configure(cfg);
-      HybridTm<HtmSim> tm(u, cfg);
-      const ThroughputResult r = run_throughput(
-          tm, kThreads, opt.seconds * 2, [&](auto& m, auto& ctx, Xoshiro256& rng, unsigned) {
-            auto& cell = cells[rng.below(cells.size())];
-            m.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + 1); });
-          });
-      const double tries =
-          r.total_ops > 0
-              ? static_cast<double>(
-                    r.stats.attempts_by_path[static_cast<std::size_t>(ExecPath::kRh1Fast)]) /
-                    static_cast<double>(r.total_ops)
-              : 0.0;
-      std::printf("%-12u %-10s %14llu %18.2f\n", inject_bp, name,
-                  static_cast<unsigned long long>(r.total_ops), tries);
-    };
-
-    if (inject_bp < 10000) {
-      // Mixed-0 never falls back: at 100% injection it would retry in
-      // hardware forever — the degenerate case the fallback exists for.
-      run_policy("mixed-0", [](auto& cfg) { cfg.slow_retry_percent = 0; });
-    } else {
-      std::printf("%-12u %-10s %14s %18s\n", inject_bp, "mixed-0", "(livelock)", "-");
-    }
-    run_policy("mixed-10", [](auto& cfg) { cfg.slow_retry_percent = 10; });
-    run_policy("mixed-100", [](auto& cfg) { cfg.slow_retry_percent = 100; });
-    run_policy("adaptive", [](auto& cfg) {
-      cfg.retry_policy = HybridTm<HtmSim>::RetryPolicy::kAdaptive;
-    });
-  }
+template <class Configure>
+void run_policy(const Options& opt, report::SeriesData& series, std::uint32_t inject_bp,
+                Configure&& configure) {
+  TmUniverse<HtmSim> u;
+  std::vector<TVar<TmWord>> cells(256);
+  typename HybridTm<HtmSim>::Config cfg;
+  cfg.inject_abort_bp = inject_bp;
+  configure(cfg);
+  HybridTm<HtmSim> tm(u, cfg);
+  const ThroughputResult r = run_throughput(
+      tm, kThreads, opt.seconds * 2, [&](auto& m, auto& ctx, Xoshiro256& rng, unsigned) {
+        auto& cell = cells[rng.below(cells.size())];
+        m.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + 1); });
+      });
+  const double tries =
+      r.total_ops > 0
+          ? static_cast<double>(
+                r.stats.attempts_by_path[static_cast<std::size_t>(ExecPath::kRh1Fast)]) /
+                static_cast<double>(r.total_ops)
+          : 0.0;
+  report::Point& p = series.add_point(inject_bp);
+  p.set("total_ops", static_cast<double>(r.total_ops));
+  p.set("abort_ratio", r.abort_ratio());
+  p.set("fast_tries_per_op", tries);
 }
 
 }  // namespace
-}  // namespace rhtm::bench
 
-int main(int argc, char** argv) {
-  rhtm::bench::run(rhtm::bench::Options::parse(argc, argv));
-  return 0;
+RHTM_SCENARIO(ablation_policy, "§2.3 (A6)",
+              "Mixed-N retry coin vs adaptive contention manager vs abort pressure") {
+  report::BenchReport rep;
+  rep.substrate = "sim";
+  rep.set_meta("workload", "counter array/256");
+  rep.set_meta("note", "mixed-0 has no point at inject_bp=10000: it would livelock");
+  report::TableData& table = rep.add_table(
+      "Ablation A6 - retry policy vs abort pressure (counter array, " +
+          std::to_string(kThreads) + " threads, sim)",
+      report::TableStyle::kWide, "inject_bp");
+
+  report::SeriesData& mixed0 = table.add_series("mixed-0");
+  report::SeriesData& mixed10 = table.add_series("mixed-10");
+  report::SeriesData& mixed100 = table.add_series("mixed-100");
+  report::SeriesData& adaptive = table.add_series("adaptive");
+
+  for (const std::uint32_t inject_bp : {0u, 1000u, 5000u, 10000u}) {
+    if (inject_bp < 10000) {
+      run_policy(opt, mixed0, inject_bp, [](auto& cfg) { cfg.slow_retry_percent = 0; });
+    }
+    run_policy(opt, mixed10, inject_bp, [](auto& cfg) { cfg.slow_retry_percent = 10; });
+    run_policy(opt, mixed100, inject_bp, [](auto& cfg) { cfg.slow_retry_percent = 100; });
+    run_policy(opt, adaptive, inject_bp, [](auto& cfg) {
+      cfg.retry_policy = HybridTm<HtmSim>::RetryPolicy::kAdaptive;
+    });
+  }
+  return rep;
 }
+
+}  // namespace rhtm::bench

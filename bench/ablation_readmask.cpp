@@ -2,17 +2,21 @@
 // fetch-and-add over a CAS loop (§4.1). Forced-RH2 commits over a shared
 // array, both mask RMW flavours, simulated substrate.
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/random_array.h"
 
 namespace rhtm::bench {
-namespace {
 
-void run(const Options& opt) {
-  std::printf("# Ablation A4 - RH2 read-mask publication: fetch-add vs CAS loop (sim)\n");
-  std::printf("%-10s %-8s %14s %12s\n", "mask_rmw", "threads", "total_ops", "abort_ratio");
+RHTM_SCENARIO(ablation_readmask, "§4.1 (A4)",
+              "RH2 visible-read publication: fetch-add vs CAS loop") {
+  report::BenchReport rep;
+  rep.substrate = "sim";
+  rep.set_meta("workload", "random_array/16384 len=32 write=25%, forced RH2");
+  report::TableData& table = rep.add_table(
+      "Ablation A4 - RH2 read-mask publication: fetch-add vs CAS loop (sim)");
 
   for (const MaskRmw mode : {MaskRmw::kFetchAdd, MaskRmw::kCasLoop}) {
+    report::SeriesData& series = table.add_series(to_string(mode));
     for (const unsigned threads : {1u, 4u, 8u}) {
       UniverseConfig ucfg;
       ucfg.stripe.mask_rmw = mode;
@@ -30,16 +34,10 @@ void run(const Options& opt) {
                              do_not_optimize(array.op(tx, rng, 32, 25));
                            });
                          });
-      std::printf("%-10s %-8u %14llu %12.3f\n", to_string(mode), threads,
-                  static_cast<unsigned long long>(r.total_ops), r.abort_ratio());
+      fill_point(series.add_point(threads), r);
     }
   }
+  return rep;
 }
 
-}  // namespace
 }  // namespace rhtm::bench
-
-int main(int argc, char** argv) {
-  rhtm::bench::run(rhtm::bench::Options::parse(argc, argv));
-  return 0;
-}

@@ -3,19 +3,25 @@
 // for the software paths. TL2 over a write-heavy random array, simulated
 // substrate.
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/random_array.h"
 
 namespace rhtm::bench {
-namespace {
 
-void run(const Options& opt) {
+RHTM_SCENARIO(ablation_stripes, "§2 (A2)",
+              "Stripe-table geometry: false conflicts from address aliasing") {
   const unsigned threads = 4;
-  std::printf("# Ablation A2 - stripe geometry (TL2, random array 64K, %u threads, sim)\n",
-              threads);
-  std::printf("%-12s %-6s %14s %12s\n", "log2_stripes", "gran", "total_ops", "abort_ratio");
+
+  report::BenchReport rep;
+  rep.substrate = "sim";
+  rep.set_meta("workload", "random_array/65536 len=32 write=50%");
+  report::TableData& table = rep.add_table(
+      "Ablation A2 - stripe geometry (TL2, random array 64K, " + std::to_string(threads) +
+          " threads, sim)",
+      report::TableStyle::kWide, "granularity_log2");
 
   for (const unsigned log2_count : {10u, 14u, 18u}) {
+    report::SeriesData& series = table.add_series("stripes=2^" + std::to_string(log2_count));
     for (const unsigned gran : {3u, 5u, 8u}) {
       UniverseConfig ucfg;
       ucfg.stripe.log2_count = log2_count;
@@ -31,16 +37,12 @@ void run(const Options& opt) {
                              do_not_optimize(array.op(tx, rng, 32, 50));
                            });
                          });
-      std::printf("%-12u %-6u %14llu %12.3f\n", log2_count, gran,
-                  static_cast<unsigned long long>(r.total_ops), r.abort_ratio());
+      report::Point& p = series.add_point(gran);
+      p.set("total_ops", static_cast<double>(r.total_ops));
+      p.set("abort_ratio", r.abort_ratio());
     }
   }
+  return rep;
 }
 
-}  // namespace
 }  // namespace rhtm::bench
-
-int main(int argc, char** argv) {
-  rhtm::bench::run(rhtm::bench::Options::parse(argc, argv));
-  return 0;
-}

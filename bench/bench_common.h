@@ -1,27 +1,34 @@
 #pragma once
 
-// Shared infrastructure for the figure-reproduction benches.
+// Shared infrastructure for the scenario registry (bench/registry.h).
 //
 // Defaults follow the paper's methodology (§3): the *emulated* substrate
 // (plain-access HTM), constant workloads, thread sweep 1..20, and abort
 // ratios measured from a TL2 run of the same configuration injected into
-// every hardware-mode series. Every knob can be overridden:
+// every hardware-mode series. Every knob can be overridden; unknown flags
+// are rejected with a usage message (never silently ignored):
 //
 //   --seconds=<double>      per measurement point            (default 0.08)
 //   --threads=<a,b,c>       thread counts                    (default 1,2,4,...,20)
 //   --substrate=emul|sim    HTM substrate                    (default emul)
 //   --full                  paper-scale sizes + longer runs
+//   --list                  enumerate registered scenarios and exit
+//   --scenario=<a,b>        run only scenarios whose name contains a token
+//   --json-dir=<dir>        where BENCH_<scenario>.json reports go (default .)
+//   --no-json               print tables only, skip the JSON reports
 //
-// Output is a whitespace-separated table per figure: column 1 = threads,
-// one column per series, values = total operations completed (the paper's
-// y-axis). Comment lines (#) carry context: injected ratios, substrate.
+// Every scenario emits its results twice: the paper-style table on stdout
+// and a machine-readable BENCH_<scenario>.json (core/report.h) built from
+// the same stored points.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/report.h"
 #include "core/rhtm.h"
 #include "workloads/driver.h"
 
@@ -40,33 +47,90 @@ struct Options {
   bool use_sim = false;
   bool full = false;
 
+  // Registry-driver flags (bench/run_all.cpp).
+  bool list = false;
+  bool write_json = true;
+  std::string json_dir = ".";
+  std::vector<std::string> scenario_filter;
+
+  static void usage(const char* argv0, std::FILE* out) {
+    std::fprintf(out,
+                 "usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim] [--full]\n"
+                 "          [--list] [--scenario=a,b] [--json-dir=DIR] [--no-json]\n"
+                 "\n"
+                 "  --seconds=S          measurement time per (series, thread-count) point\n"
+                 "  --threads=a,b,c      thread counts to sweep\n"
+                 "  --substrate=emul|sim HTM substrate (plain-access emulation | simulator)\n"
+                 "  --full               paper-scale sizes and 1 s points\n"
+                 "  --list               list registered scenarios and exit\n"
+                 "  --scenario=a,b       run only scenarios whose name contains a token\n"
+                 "  --json-dir=DIR       directory for BENCH_<scenario>.json (default .)\n"
+                 "  --no-json            skip writing the JSON reports\n",
+                 argv0);
+  }
+
+  /// Strict parser: any flag it does not recognise (or a recognised flag
+  /// with a malformed value) prints the usage message and exits nonzero.
   static Options parse(int argc, char** argv) {
     Options opt;
+    const auto die = [&](const char* what, const std::string& arg) {
+      std::fprintf(stderr, "%s: %s '%s'\n", argv[0], what, arg.c_str());
+      usage(argv[0], stderr);
+      std::exit(2);
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.rfind("--seconds=", 0) == 0) {
-        opt.seconds = std::atof(arg.c_str() + 10);
+        char* end = nullptr;
+        opt.seconds = std::strtod(arg.c_str() + 10, &end);
+        if (end == arg.c_str() + 10 || *end != '\0' || !(opt.seconds > 0)) {
+          die("bad value for --seconds in", arg);
+        }
         opt.calib_seconds = opt.seconds;
       } else if (arg.rfind("--threads=", 0) == 0) {
         opt.threads.clear();
         const char* p = arg.c_str() + 10;
         while (*p != '\0') {
-          opt.threads.push_back(static_cast<unsigned>(std::strtoul(p, nullptr, 10)));
-          while (*p != '\0' && *p != ',') ++p;
-          if (*p == ',') ++p;
+          char* end = nullptr;
+          const unsigned long v = std::strtoul(p, &end, 10);
+          if (end == p || v == 0 || (*end != '\0' && *end != ',')) {
+            die("bad thread list in", arg);
+          }
+          opt.threads.push_back(static_cast<unsigned>(v));
+          p = *end == ',' ? end + 1 : end;
         }
+        if (opt.threads.empty()) die("empty thread list in", arg);
       } else if (arg == "--substrate=sim") {
         opt.use_sim = true;
       } else if (arg == "--substrate=emul") {
         opt.use_sim = false;
+      } else if (arg.rfind("--substrate=", 0) == 0) {
+        die("unknown substrate in", arg);
       } else if (arg == "--full") {
         opt.full = true;
         opt.seconds = 1.0;
         opt.calib_seconds = 0.5;
+      } else if (arg == "--list") {
+        opt.list = true;
+      } else if (arg.rfind("--scenario=", 0) == 0) {
+        const char* p = arg.c_str() + 11;
+        while (*p != '\0') {
+          const char* comma = std::strchr(p, ',');
+          const std::string token = comma != nullptr ? std::string(p, comma) : std::string(p);
+          if (!token.empty()) opt.scenario_filter.push_back(token);
+          p = comma != nullptr ? comma + 1 : p + token.size();
+        }
+        if (opt.scenario_filter.empty()) die("empty scenario filter in", arg);
+      } else if (arg.rfind("--json-dir=", 0) == 0) {
+        opt.json_dir = arg.substr(11);
+        if (opt.json_dir.empty()) die("empty directory in", arg);
+      } else if (arg == "--no-json") {
+        opt.write_json = false;
       } else if (arg == "--help") {
-        std::printf("usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim] [--full]\n",
-                    argv[0]);
+        usage(argv[0], stdout);
         std::exit(0);
+      } else {
+        die("unknown flag", arg);
       }
     }
     return opt;
@@ -75,63 +139,46 @@ struct Options {
   [[nodiscard]] const char* substrate_name() const { return use_sim ? "sim" : "emul"; }
 };
 
-/// One measured point of one series.
-struct Point {
-  std::uint64_t total_ops = 0;
-  double abort_ratio = 0;
-};
-
-/// Collected series, printed paper-style.
-class Table {
- public:
-  Table(std::string title, std::vector<unsigned> threads)
-      : title_(std::move(title)), threads_(std::move(threads)) {}
-
-  void add_series(std::string series_name) { names_.push_back(std::move(series_name)); }
-
-  void add_point(std::size_t series, Point p) {
-    if (points_.size() <= series) points_.resize(series + 1);
-    points_[series].push_back(p);
-  }
-
-  void print() const {
-    std::printf("# %s\n", title_.c_str());
-    std::printf("%-8s", "threads");
-    for (const auto& name : names_) std::printf(" %14s", name.c_str());
-    std::printf("\n");
-    for (std::size_t row = 0; row < threads_.size(); ++row) {
-      std::printf("%-8u", threads_[row]);
-      for (const auto& series : points_) {
-        if (row < series.size()) std::printf(" %14llu",
-                                             static_cast<unsigned long long>(series[row].total_ops));
-      }
-      std::printf("\n");
+/// Copies one throughput run into a report point: the headline metrics plus
+/// every non-zero per-path / per-cause counter.
+inline void fill_point(report::Point& p, const ThroughputResult& r) {
+  p.set("total_ops", static_cast<double>(r.total_ops));
+  p.set("ops_per_sec",
+        r.seconds > 0 ? static_cast<double>(r.total_ops) / r.seconds : 0.0);
+  p.set("abort_ratio", r.abort_ratio());
+  p.set("commits", static_cast<double>(r.stats.commits));
+  p.set("aborts", static_cast<double>(r.stats.aborts));
+  p.set("wall_seconds", r.seconds);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(ExecPath::kCount); ++i) {
+    const auto path = static_cast<ExecPath>(i);
+    if (r.stats.commits_by_path[i] != 0) {
+      p.set(std::string("commits_") + to_string(path),
+            static_cast<double>(r.stats.commits_by_path[i]));
     }
-    std::printf("# abort ratios:\n");
-    for (std::size_t s = 0; s < names_.size(); ++s) {
-      std::printf("#   %-14s", names_[s].c_str());
-      if (s < points_.size()) {
-        for (const auto& p : points_[s]) std::printf(" %5.2f", p.abort_ratio);
-      }
-      std::printf("\n");
+    if (r.stats.attempts_by_path[i] != 0) {
+      p.set(std::string("attempts_") + to_string(path),
+            static_cast<double>(r.stats.attempts_by_path[i]));
     }
   }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
+    if (r.stats.aborts_by_cause[i] != 0) {
+      p.set(std::string("aborts_") + to_string(static_cast<AbortCause>(i)),
+            static_cast<double>(r.stats.aborts_by_cause[i]));
+    }
+  }
+}
 
- private:
-  std::string title_;
-  std::vector<unsigned> threads_;
-  std::vector<std::string> names_;
-  std::vector<std::vector<Point>> points_;
-};
-
-/// The protocol series of the paper's figures.
+/// The protocol series of the paper's figures plus the two extension
+/// hybrids, so every workload can sweep every protocol uniformly.
 enum class Series {
-  kHtm,        ///< "HTM": uninstrumented hardware upper bound
-  kStdHytm,    ///< "Standard HyTM": instrumented reads+writes, hardware-only
-  kTl2,        ///< "TL2": the software baseline (also the calibration run)
-  kRh1Fast,    ///< "RH1 Fast": RH1 fast path only, hardware retries
-  kRh1Mix10,   ///< "RH1 Mixed 10": 10% of aborts retried on the slow path
-  kRh1Mix100,  ///< "RH1 Mixed 100": every abort retried on the slow path
+  kHtm,          ///< "HTM": uninstrumented hardware upper bound
+  kStdHytm,      ///< "Standard HyTM": instrumented reads+writes, hardware-only
+  kTl2,          ///< "TL2": the software baseline (also the calibration run)
+  kRh1Fast,      ///< "RH1 Fast": RH1 fast path only, hardware retries
+  kRh1Mix10,     ///< "RH1 Mixed 10": 10% of aborts retried on the slow path
+  kRh1Mix100,    ///< "RH1 Mixed 100": every abort retried on the slow path
+  kHybridNorec,  ///< Hybrid NOrec: global-seqlock hybrid (coarse conflicts)
+  kPhasedTm,     ///< Phased TM: global hardware/software phase switch
 };
 
 [[nodiscard]] inline const char* to_string(Series s) {
@@ -142,6 +189,8 @@ enum class Series {
     case Series::kRh1Fast: return "RH1-Fast";
     case Series::kRh1Mix10: return "RH1-Mix10";
     case Series::kRh1Mix100: return "RH1-Mix100";
+    case Series::kHybridNorec: return "HybridNOrec";
+    case Series::kPhasedTm: return "PhasedTM";
   }
   return "?";
 }
@@ -152,29 +201,25 @@ enum class Series {
 ///
 /// `op(tm, ctx, rng, tid)` must execute exactly one transaction.
 template <class H, class OpFactory>
-Point run_series_point(TmUniverse<H>& universe, Series series, unsigned threads, double seconds,
-                       std::uint32_t inject_bp, OpFactory&& op) {
-  ThroughputResult result;
+ThroughputResult run_series_point(TmUniverse<H>& universe, Series series, unsigned threads,
+                                  double seconds, std::uint32_t inject_bp, OpFactory&& op) {
   switch (series) {
     case Series::kHtm: {
       typename HtmOnly<H>::Config cfg;
       cfg.inject_abort_bp = inject_bp;
       HtmOnly<H> tm(universe, cfg);
-      result = run_throughput(tm, threads, seconds, op);
-      break;
+      return run_throughput(tm, threads, seconds, op);
     }
     case Series::kStdHytm: {
       typename StandardHytm<H>::Config cfg;
       cfg.hardware_only = true;  // the paper's best-case Standard HyTM
       cfg.inject_abort_bp = inject_bp;
       StandardHytm<H> tm(universe, cfg);
-      result = run_throughput(tm, threads, seconds, op);
-      break;
+      return run_throughput(tm, threads, seconds, op);
     }
     case Series::kTl2: {
       Tl2<H> tm(universe);
-      result = run_throughput(tm, threads, seconds, op);
-      break;
+      return run_throughput(tm, threads, seconds, op);
     }
     case Series::kRh1Fast:
     case Series::kRh1Mix10:
@@ -184,43 +229,81 @@ Point run_series_point(TmUniverse<H>& universe, Series series, unsigned threads,
       cfg.slow_retry_percent =
           series == Series::kRh1Fast ? 0 : (series == Series::kRh1Mix10 ? 10 : 100);
       HybridTm<H> tm(universe, cfg);
-      result = run_throughput(tm, threads, seconds, op);
-      break;
+      return run_throughput(tm, threads, seconds, op);
+    }
+    case Series::kHybridNorec: {
+      typename HybridNorec<H>::Config cfg;
+      cfg.inject_abort_bp = inject_bp;
+      HybridNorec<H> tm(universe, cfg);
+      return run_throughput(tm, threads, seconds, op);
+    }
+    case Series::kPhasedTm: {
+      typename PhasedTm<H>::Config cfg;
+      cfg.inject_abort_bp = inject_bp;
+      PhasedTm<H> tm(universe, cfg);
+      return run_throughput(tm, threads, seconds, op);
     }
   }
-  return {result.total_ops, result.abort_ratio()};
+  return {};
 }
 
 /// Paper §3.1 calibration: TL2 abort ratio for this workload at this thread
 /// count, converted to injection basis points.
 template <class H, class OpFactory>
-[[nodiscard]] std::pair<std::uint32_t, Point> calibrate_tl2(TmUniverse<H>& universe,
-                                                            unsigned threads, double seconds,
-                                                            OpFactory&& op) {
+[[nodiscard]] std::pair<std::uint32_t, ThroughputResult> calibrate_tl2(TmUniverse<H>& universe,
+                                                                       unsigned threads,
+                                                                       double seconds,
+                                                                       OpFactory&& op) {
   Tl2<H> tl2(universe);
-  const ThroughputResult r = run_throughput(tl2, threads, seconds, op);
-  const double ratio = r.abort_ratio();
-  return {AbortInjector::from_ratio(ratio).rate_bp(), Point{r.total_ops, ratio}};
+  ThroughputResult r = run_throughput(tl2, threads, seconds, op);
+  return {AbortInjector::from_ratio(r.abort_ratio()).rate_bp(), std::move(r)};
 }
 
 /// Standard figure loop: for each thread count, calibrate on TL2 once, then
-/// run every series with the calibrated injection. The TL2 point itself is
-/// reused from the calibration run (it *is* the TL2 series).
+/// run every series with the calibrated injection, filling `table` (one
+/// series per protocol, one point per thread count). The TL2 point itself
+/// is reused from the calibration run (it *is* the TL2 series).
+/// `inject = false` keeps the TL2 run as that series' point but passes zero
+/// injection to the hardware-mode series — for scenarios whose design is
+/// explicitly "no software pressure" (ext_hybrids table a).
 template <class H, class OpFactory>
-void run_figure(TmUniverse<H>& universe, Table& table, const std::vector<Series>& series_list,
-                const Options& opt, OpFactory&& op) {
+void run_figure(TmUniverse<H>& universe, report::TableData& table,
+                const std::vector<Series>& series_list, const Options& opt, OpFactory&& op,
+                bool inject = true) {
   for (const Series s : series_list) table.add_series(to_string(s));
   for (const unsigned threads : opt.threads) {
-    const auto [inject_bp, tl2_point] = calibrate_tl2(universe, threads, opt.calib_seconds, op);
+    const auto [calibrated_bp, tl2_result] =
+        calibrate_tl2(universe, threads, opt.calib_seconds, op);
+    const std::uint32_t inject_bp = inject ? calibrated_bp : 0;
     for (std::size_t i = 0; i < series_list.size(); ++i) {
+      report::Point& p = table.series[i].add_point(threads);
       if (series_list[i] == Series::kTl2) {
-        table.add_point(i, tl2_point);
+        fill_point(p, tl2_result);
         continue;
       }
-      table.add_point(i, run_series_point(universe, series_list[i], threads, opt.seconds,
-                                          inject_bp, op));
+      fill_point(p, run_series_point(universe, series_list[i], threads, opt.seconds,
+                                     inject_bp, op));
     }
   }
+}
+
+/// Deadline-driven timing loop for the micro scenarios: runs `f` in batches
+/// until `seconds` elapse and returns the mean nanoseconds per call.
+template <class F>
+[[nodiscard]] double ns_per_op(double seconds, F&& f) {
+  using clock = std::chrono::steady_clock;
+  f();  // warm-up (first-touch, lazy init)
+  const auto t0 = clock::now();
+  const auto deadline = t0 + std::chrono::duration<double>(seconds);
+  std::uint64_t iters = 0;
+  auto now = t0;
+  do {
+    for (int i = 0; i < 32; ++i) f();
+    iters += 32;
+    now = clock::now();
+  } while (now < deadline);
+  return std::chrono::duration<double, std::nano>(now - t0).count() /
+         static_cast<double>(iters);
 }
 
 }  // namespace rhtm::bench

@@ -9,103 +9,55 @@
 //
 // Two scenarios on the constant RB-tree: (a) everything fits (no injection)
 // — all hybrids should be close to raw HTM; (b) a fraction of transactions
-// is forced to software (abort injection as a stand-in for capacity/syscall
-// failures) — Phased TM and Hybrid NOrec degrade, RH1 keeps the gap small.
+// genuinely exceeds the HTM write budget (simulated substrate, real capacity
+// aborts) — Phased TM and Hybrid NOrec degrade, RH1 keeps the gap small.
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/constant_rbtree.h"
 
 namespace rhtm::bench {
 namespace {
 
-template <class H, class Tm>
-Point run_one(Tm& tm, unsigned threads, double seconds, ConstantRbTree& tree,
-              unsigned write_percent) {
-  const ThroughputResult r = run_throughput(
-      tm, threads, seconds, [&](auto& m, auto& ctx, Xoshiro256& rng, unsigned) {
-        const std::uint64_t key = rng.below(2 * tree.size());
-        if (rng.percent_chance(write_percent)) {
-          m.atomically(ctx, [&](auto& tx) { (void)tree.update(tx, key, rng.next_u64(), rng); });
-        } else {
-          TmWord sink = 0;
-          m.atomically(ctx, [&](auto& tx) { (void)tree.lookup(tx, key, &sink); });
-          do_not_optimize(sink);
-        }
-      });
-  return {r.total_ops, r.abort_ratio()};
-}
-
 template <class H>
-void run_scenario(const Options& opt, ConstantRbTree& tree, unsigned write_percent,
-                  std::uint32_t inject_bp, const char* label) {
-  Table table(std::string("ext-hybrids - RB-tree 100K, ") + std::to_string(write_percent) +
-                  "% writes, " + label + " (substrate=" + opt.substrate_name() + ")",
-              opt.threads);
-  table.add_series("RH1-Mix100");
-  table.add_series("HybridNOrec");
-  table.add_series("PhasedTM");
-  table.add_series("StandardHyTM");
-  table.add_series("TL2");
-
-  for (const unsigned threads : opt.threads) {
-    TmUniverse<H> u_rh1;
-    {
-      typename HybridTm<H>::Config cfg;
-      cfg.slow_retry_percent = 100;
-      cfg.inject_abort_bp = inject_bp;
-      HybridTm<H> tm(u_rh1, cfg);
-      table.add_point(0, run_one<H>(tm, threads, opt.seconds, tree, write_percent));
-    }
-    TmUniverse<H> u_norec;
-    {
-      typename HybridNorec<H>::Config cfg;
-      cfg.inject_abort_bp = inject_bp;
-      HybridNorec<H> tm(u_norec, cfg);
-      table.add_point(1, run_one<H>(tm, threads, opt.seconds, tree, write_percent));
-    }
-    TmUniverse<H> u_phased;
-    {
-      typename PhasedTm<H>::Config cfg;
-      cfg.inject_abort_bp = inject_bp;
-      PhasedTm<H> tm(u_phased, cfg);
-      table.add_point(2, run_one<H>(tm, threads, opt.seconds, tree, write_percent));
-    }
-    TmUniverse<H> u_hytm;
-    {
-      typename StandardHytm<H>::Config cfg;
-      cfg.hardware_only = true;
-      cfg.inject_abort_bp = inject_bp;
-      StandardHytm<H> tm(u_hytm, cfg);
-      table.add_point(3, run_one<H>(tm, threads, opt.seconds, tree, write_percent));
-    }
-    TmUniverse<H> u_tl2;
-    {
-      Tl2<H> tm(u_tl2);
-      table.add_point(4, run_one<H>(tm, threads, opt.seconds, tree, write_percent));
-    }
-  }
-  table.print();
-  std::printf("\n");
-}
-
-template <class H>
-void run(const Options& opt) {
+void run_no_pressure(const Options& opt, report::BenchReport& rep) {
   ConstantRbTree tree(100'000);
-  run_scenario<H>(opt, tree, 20, 0, "no software pressure");
+  constexpr unsigned kWritePercent = 20;
+  TmUniverse<H> universe;
+  report::TableData& table = rep.add_table(
+      "ext-hybrids - RB-tree 100K, 20% writes, no software pressure (substrate=" +
+      std::string(opt.substrate_name()) + ")");
+
+  auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
+    const std::uint64_t key = rng.below(2 * tree.size());
+    if (rng.percent_chance(kWritePercent)) {
+      tm.atomically(ctx, [&](auto& tx) { (void)tree.update(tx, key, rng.next_u64(), rng); });
+    } else {
+      TmWord sink = 0;
+      tm.atomically(ctx, [&](auto& tx) { (void)tree.lookup(tx, key, &sink); });
+      do_not_optimize(sink);
+    }
+  };
+
+  // Scenario (a) is "everything fits": zero injection for the hardware
+  // series — all hybrids should land close to raw HTM.
+  run_figure(universe, table,
+             {Series::kRh1Mix100, Series::kHybridNorec, Series::kPhasedTm, Series::kStdHytm,
+              Series::kTl2},
+             opt, op, /*inject=*/false);
 }
 
 // Scenario (b): a small fraction of transactions genuinely exceeds the HTM
 // write budget, so hardware can never commit them — the "even a single
 // transaction needs software" case (§1 on Phased TM). Always runs on HtmSim:
 // real capacity aborts, no injection.
-void run_capacity_pressure(const Options& opt) {
+void run_capacity_pressure_table(const Options& opt, report::BenchReport& rep) {
   using H = HtmSim;
   constexpr std::size_t kCells = 2048;
   constexpr unsigned kBulkWrites = 700;  // > default 512-entry write budget
   constexpr unsigned kBulkPercent = 2;
 
-  Table table("ext-hybrids - 2% oversized transactions (genuine capacity aborts, substrate=sim)",
-              opt.threads);
+  report::TableData& table = rep.add_table(
+      "ext-hybrids - 2% oversized transactions (genuine capacity aborts, substrate=sim)");
   table.add_series("RH1-Mix100");
   table.add_series("HybridNOrec");
   table.add_series("PhasedTM");
@@ -136,53 +88,52 @@ void run_capacity_pressure(const Options& opt) {
       typename HybridTm<H>::Config cfg;
       cfg.slow_retry_percent = 100;
       HybridTm<H> tm(u, cfg);
-      const ThroughputResult r = run_throughput(tm, threads, opt.seconds, make_op(cells));
-      table.add_point(0, {r.total_ops, r.abort_ratio()});
+      fill_point(table.series[0].add_point(threads),
+                 run_throughput(tm, threads, opt.seconds, make_op(cells)));
     }
     {
       TmUniverse<H> u;
       std::vector<TVar<TmWord>> cells(kCells);
       HybridNorec<H> tm(u);
-      const ThroughputResult r = run_throughput(tm, threads, opt.seconds, make_op(cells));
-      table.add_point(1, {r.total_ops, r.abort_ratio()});
+      fill_point(table.series[1].add_point(threads),
+                 run_throughput(tm, threads, opt.seconds, make_op(cells)));
     }
     {
       TmUniverse<H> u;
       std::vector<TVar<TmWord>> cells(kCells);
       PhasedTm<H> tm(u);
-      const ThroughputResult r = run_throughput(tm, threads, opt.seconds, make_op(cells));
-      table.add_point(2, {r.total_ops, r.abort_ratio()});
+      fill_point(table.series[2].add_point(threads),
+                 run_throughput(tm, threads, opt.seconds, make_op(cells)));
     }
     {
       TmUniverse<H> u;
       std::vector<TVar<TmWord>> cells(kCells);
       Tl2<H> tm(u);
-      const ThroughputResult r = run_throughput(tm, threads, opt.seconds, make_op(cells));
-      table.add_point(3, {r.total_ops, r.abort_ratio()});
+      fill_point(table.series[3].add_point(threads),
+                 run_throughput(tm, threads, opt.seconds, make_op(cells)));
     }
   }
-  table.print();
-  std::printf(
-      "# NOTE: on the sim substrate hardware paths carry software tracking costs, so\n"
-      "# absolute throughput is not the signal here. The behavioural signatures are:\n"
-      "#  - HybridNOrec's abort ratio spikes (every HW writer commit conflicts on the\n"
-      "#    global sequence lock) — the paper's coarse-conflict critique;\n"
-      "#  - PhasedTM's throughput pins to TL2's (one oversized transaction drags\n"
-      "#    every thread into the software phase) — the paper's phase critique;\n"
-      "#  - RH1 pays only per-transaction fallback costs (lowest abort ratio).\n");
 }
 
 }  // namespace
-}  // namespace rhtm::bench
 
-int main(int argc, char** argv) {
-  const auto opt = rhtm::bench::Options::parse(argc, argv);
+RHTM_SCENARIO(ext_hybrids, "§1 (ext)",
+              "RH1-Mix100 vs Hybrid NOrec vs Phased TM, incl. genuine capacity-abort case") {
+  report::BenchReport rep;
+  // Table (a) follows --substrate; table (b) is pinned to the simulator.
+  rep.substrate = opt.use_sim ? "sim" : "mixed";
+  rep.set_meta("workload", "constant_rbtree/100000 + oversized-tx counter array");
+  rep.set_meta("note",
+               "capacity table: NOrec's abort ratio spikes (global seqlock), PhasedTM pins "
+               "to TL2 (one oversized tx drags all threads to software), RH1 pays only "
+               "per-transaction fallback costs");
   if (opt.use_sim) {
-    rhtm::bench::run<rhtm::HtmSim>(opt);
+    run_no_pressure<HtmSim>(opt, rep);
   } else {
-    rhtm::bench::run<rhtm::HtmEmul>(opt);
+    run_no_pressure<HtmEmul>(opt, rep);
   }
-  std::printf("\n");
-  rhtm::bench::run_capacity_pressure(opt);
-  return 0;
+  run_capacity_pressure_table(opt, rep);
+  return rep;
 }
+
+}  // namespace rhtm::bench

@@ -5,22 +5,22 @@
 // transactions (Standard HyTM) collapses the HTM advantage from ~5-6× over
 // TL2 to ~2×; RH1's uninstrumented reads preserve it.
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/constant_rbtree.h"
 
 namespace rhtm::bench {
 namespace {
 
 template <class H>
-void run(const Options& opt) {
+void run_fig1(const Options& opt, report::BenchReport& rep) {
   const std::size_t nodes = 100'000;
   ConstantRbTree tree(nodes);
   constexpr unsigned kWritePercent = 20;
 
   TmUniverse<H> universe;
-  Table table("Figure 1 - 100K Nodes Constant RB-Tree, 20% mutations (substrate=" +
-                  std::string(opt.substrate_name()) + ", total ops per point)",
-              opt.threads);
+  report::TableData& table = rep.add_table(
+      "Figure 1 - 100K Nodes Constant RB-Tree, 20% mutations (substrate=" +
+      std::string(opt.substrate_name()) + ", total ops per point)");
 
   auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
     const std::uint64_t key = rng.below(2 * nodes);
@@ -35,18 +35,22 @@ void run(const Options& opt) {
 
   run_figure(universe, table,
              {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast}, opt, op);
-  table.print();
 }
 
 }  // namespace
-}  // namespace rhtm::bench
 
-int main(int argc, char** argv) {
-  const auto opt = rhtm::bench::Options::parse(argc, argv);
+RHTM_SCENARIO(fig1_rbtree, "Fig. 1",
+              "100K-node constant RB-tree, 20% mutations: HTM / StdHyTM / TL2 / RH1-Fast") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  rep.set_meta("workload", "constant_rbtree/100000");
+  rep.set_meta("write_percent", "20");
   if (opt.use_sim) {
-    rhtm::bench::run<rhtm::HtmSim>(opt);
+    run_fig1<HtmSim>(opt, rep);
   } else {
-    rhtm::bench::run<rhtm::HtmEmul>(opt);
+    run_fig1<HtmEmul>(opt, rep);
   }
-  return 0;
+  return rep;
 }
+
+}  // namespace rhtm::bench

@@ -10,7 +10,7 @@
 
 #include <array>
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/constant_rbtree.h"
 #include "workloads/timed_handle.h"
 
@@ -46,7 +46,8 @@ void one_op(Tm& tm, Ctx& ctx, Xoshiro256& rng, TxStats& stats, std::uint64_t& bo
 }
 
 template <class H>
-void run_breakdowns(const Options& opt, ConstantRbTree& tree, unsigned write_percent) {
+void run_breakdowns(const Options& opt, report::BenchReport& rep, ConstantRbTree& tree,
+                    unsigned write_percent) {
   TmUniverse<H> universe;
   const double secs = opt.seconds * 2;  // single point per series; can afford more
 
@@ -130,40 +131,47 @@ void run_breakdowns(const Options& opt, ConstantRbTree& tree, unsigned write_per
 
   const double tl2_ops = rows[1].plain_ops_per_sec;
 
-  std::printf("# Figure 2 - single-thread breakdown, RB-Tree %u%% mutations (substrate=%s)\n",
-              write_percent, opt.substrate_name());
-  std::printf("%-14s %8s %8s %8s %9s %9s | %10s %10s %8s %8s %12s\n", "series", "read%",
-              "write%", "commit%", "private%", "intertx%", "reads", "writes", "aborts",
-              "commits", "speedup/TL2");
+  report::TableData& table = rep.add_table(
+      "Figure 2 - single-thread breakdown, RB-Tree " + std::to_string(write_percent) +
+          "% mutations (substrate=" + opt.substrate_name() + ")",
+      report::TableStyle::kWide, "write_percent", "speedup_vs_tl2");
   for (std::size_t i = 0; i < n; ++i) {
     const BreakdownResult& b = rows[i].breakdown;
-    std::printf("%-14s %8.2f %8.2f %8.2f %9.2f %9.2f | %10llu %10llu %8llu %8llu %12.2f\n",
-                rows[i].name, b.read_pct, b.write_pct, b.commit_pct, b.private_pct, b.intertx_pct,
-                static_cast<unsigned long long>(b.reads),
-                static_cast<unsigned long long>(b.writes),
-                static_cast<unsigned long long>(b.aborts),
-                static_cast<unsigned long long>(b.commits),
-                tl2_ops > 0 ? rows[i].plain_ops_per_sec / tl2_ops : 0.0);
+    report::Point& p = table.add_series(rows[i].name).add_point(write_percent);
+    p.set("read_pct", b.read_pct);
+    p.set("write_pct", b.write_pct);
+    p.set("commit_pct", b.commit_pct);
+    p.set("private_pct", b.private_pct);
+    p.set("intertx_pct", b.intertx_pct);
+    p.set("reads", static_cast<double>(b.reads));
+    p.set("writes", static_cast<double>(b.writes));
+    p.set("aborts", static_cast<double>(b.aborts));
+    p.set("commits", static_cast<double>(b.commits));
+    p.set("speedup_vs_tl2", tl2_ops > 0 ? rows[i].plain_ops_per_sec / tl2_ops : 0.0);
   }
-  std::printf("\n");
 }
 
 template <class H>
-void run(const Options& opt) {
+void run_fig2_breakdown(const Options& opt, report::BenchReport& rep) {
   ConstantRbTree tree(100'000);
-  run_breakdowns<H>(opt, tree, 20);
-  run_breakdowns<H>(opt, tree, 80);
+  run_breakdowns<H>(opt, rep, tree, 20);
+  run_breakdowns<H>(opt, rep, tree, 80);
 }
 
 }  // namespace
-}  // namespace rhtm::bench
 
-int main(int argc, char** argv) {
-  const auto opt = rhtm::bench::Options::parse(argc, argv);
+RHTM_SCENARIO(fig2_breakdown, "Fig. 2 (mid+bot)",
+              "Single-thread speedup vs TL2 + read/write/commit/private/intertx breakdown") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  rep.set_meta("workload", "constant_rbtree/100000");
+  rep.set_meta("write_percents", "20,80");
   if (opt.use_sim) {
-    rhtm::bench::run<rhtm::HtmSim>(opt);
+    run_fig2_breakdown<HtmSim>(opt, rep);
   } else {
-    rhtm::bench::run<rhtm::HtmEmul>(opt);
+    run_fig2_breakdown<HtmEmul>(opt, rep);
   }
-  return 0;
+  return rep;
 }
+
+}  // namespace rhtm::bench

@@ -6,18 +6,19 @@
 // penalty is invisible; at 80% writes (~40% aborts) Mixed 100 pays a visible
 // penalty yet still edges out the best-case Standard HyTM.
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/constant_rbtree.h"
 
 namespace rhtm::bench {
 namespace {
 
 template <class H>
-void run_mix(const Options& opt, ConstantRbTree& tree, unsigned write_percent) {
+void run_mix(const Options& opt, report::BenchReport& rep, ConstantRbTree& tree,
+             unsigned write_percent) {
   TmUniverse<H> universe;
-  Table table("Figure 2 - 100K Nodes Constant RB-Tree, " + std::to_string(write_percent) +
-                  "% mutations (substrate=" + std::string(opt.substrate_name()) + ")",
-              opt.threads);
+  report::TableData& table = rep.add_table(
+      "Figure 2 - 100K Nodes Constant RB-Tree, " + std::to_string(write_percent) +
+      "% mutations (substrate=" + std::string(opt.substrate_name()) + ")");
 
   const std::size_t nodes = tree.size();
   auto op = [&, write_percent](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
@@ -32,29 +33,32 @@ void run_mix(const Options& opt, ConstantRbTree& tree, unsigned write_percent) {
   };
 
   run_figure(universe, table,
-             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast, Series::kRh1Mix10,
-              Series::kRh1Mix100},
+             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast,
+              Series::kRh1Mix10, Series::kRh1Mix100},
              opt, op);
-  table.print();
-  std::printf("\n");
 }
 
 template <class H>
-void run(const Options& opt) {
+void run_fig2(const Options& opt, report::BenchReport& rep) {
   ConstantRbTree tree(100'000);
-  run_mix<H>(opt, tree, 20);  // Fig. 2 top-left
-  run_mix<H>(opt, tree, 80);  // Fig. 2 top-right
+  run_mix<H>(opt, rep, tree, 20);  // Fig. 2 top-left
+  run_mix<H>(opt, rep, tree, 80);  // Fig. 2 top-right
 }
 
 }  // namespace
-}  // namespace rhtm::bench
 
-int main(int argc, char** argv) {
-  const auto opt = rhtm::bench::Options::parse(argc, argv);
+RHTM_SCENARIO(fig2_rbtree_mix, "Fig. 2 (top)",
+              "100K-node constant RB-tree at 20%/80% mutations, adds RH1-Mix10/Mix100") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  rep.set_meta("workload", "constant_rbtree/100000");
+  rep.set_meta("write_percents", "20,80");
   if (opt.use_sim) {
-    rhtm::bench::run<rhtm::HtmSim>(opt);
+    run_fig2<HtmSim>(opt, rep);
   } else {
-    rhtm::bench::run<rhtm::HtmEmul>(opt);
+    run_fig2<HtmEmul>(opt, rep);
   }
-  return 0;
+  return rep;
 }
+
+}  // namespace rhtm::bench

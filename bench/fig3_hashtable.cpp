@@ -8,22 +8,23 @@
 // Size note: the paper's figure says 10K elements while §3.3's text says
 // 1000K; we default to the figure's 10K (--full switches to 1000K).
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/constant_hashtable.h"
 
 namespace rhtm::bench {
 namespace {
 
 template <class H>
-void run(const Options& opt) {
+void run_fig3_hash(const Options& opt, report::BenchReport& rep) {
   const std::size_t elems = opt.full ? 1'000'000 : 10'000;
   ConstantHashTable table_ds(elems);
   constexpr unsigned kWritePercent = 20;
 
   TmUniverse<H> universe;
-  Table table(std::to_string(elems) + " Elements Constant Hash Table, 20% mutations (substrate=" +
-                  std::string(opt.substrate_name()) + ") - Figure 3 left",
-              opt.threads);
+  report::TableData& table = rep.add_table(
+      std::to_string(elems) + " Elements Constant Hash Table, 20% mutations (substrate=" +
+      std::string(opt.substrate_name()) + ") - Figure 3 left");
+  rep.set_meta("workload", "constant_hashtable/" + std::to_string(elems));
 
   auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
     const std::uint64_t key = rng.below(2 * elems);
@@ -36,20 +37,23 @@ void run(const Options& opt) {
     }
   };
 
-  run_figure(universe, table, {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Mix100},
-             opt, op);
-  table.print();
+  run_figure(universe, table,
+             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Mix100}, opt, op);
 }
 
 }  // namespace
-}  // namespace rhtm::bench
 
-int main(int argc, char** argv) {
-  const auto opt = rhtm::bench::Options::parse(argc, argv);
+RHTM_SCENARIO(fig3_hashtable, "Fig. 3 (left)",
+              "Constant hash table, 20% mutations: short distributed transactions") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  rep.set_meta("write_percent", "20");
   if (opt.use_sim) {
-    rhtm::bench::run<rhtm::HtmSim>(opt);
+    run_fig3_hash<HtmSim>(opt, rep);
   } else {
-    rhtm::bench::run<rhtm::HtmEmul>(opt);
+    run_fig3_hash<HtmEmul>(opt, rep);
   }
-  return 0;
+  return rep;
 }
+
+}  // namespace rhtm::bench

@@ -7,7 +7,7 @@
 // long transactions, because Standard HyTM additionally *reads* metadata on
 // every access, generating far more coherence traffic.
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/random_array.h"
 
 namespace rhtm::bench {
@@ -17,50 +17,56 @@ constexpr unsigned kLengths[] = {400, 200, 100, 40};
 constexpr unsigned kWritePercents[] = {0, 20, 50, 90};
 
 template <class H>
-void run(const Options& opt) {
+void run_fig3_array(const Options& opt, report::BenchReport& rep) {
   RandomArray array(128 * 1024);
   const unsigned threads = opt.threads.empty() ? 20 : opt.threads.back();
+  rep.set_meta("threads", std::to_string(threads));
 
   TmUniverse<H> universe;
-  std::printf("# Figure 3 right - 128K Random Array, RH1-Fast speedup vs Standard HyTM, "
-              "%u threads (substrate=%s)\n",
-              threads, opt.substrate_name());
-  std::printf("%-8s", "writes%");
-  for (const unsigned len : kLengths) std::printf(" %10s%u", "len", len);
-  std::printf("\n");
+  report::TableData& table = rep.add_table(
+      "Figure 3 right - 128K Random Array, RH1-Fast speedup vs Standard HyTM, " +
+          std::to_string(threads) + " threads (substrate=" + opt.substrate_name() + ")",
+      report::TableStyle::kSweep, "write_percent", "speedup");
+  for (const unsigned len : kLengths) table.add_series("len" + std::to_string(len));
 
   for (const unsigned write_pct : kWritePercents) {
-    std::printf("%-8u", write_pct);
-    for (const unsigned len : kLengths) {
+    for (std::size_t li = 0; li < std::size(kLengths); ++li) {
+      const unsigned len = kLengths[li];
       auto op = [&array, len, write_pct](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
         tm.atomically(ctx, [&](auto& tx) { do_not_optimize(array.op(tx, rng, len, write_pct)); });
       };
-      const auto [inject_bp, tl2_point] =
+      const auto [inject_bp, tl2_result] =
           calibrate_tl2(universe, threads, opt.calib_seconds, op);
-      (void)tl2_point;
-      const Point rh1 =
+      (void)tl2_result;
+      const ThroughputResult rh1 =
           run_series_point(universe, Series::kRh1Fast, threads, opt.seconds, inject_bp, op);
-      const Point hytm =
+      const ThroughputResult hytm =
           run_series_point(universe, Series::kStdHytm, threads, opt.seconds, inject_bp, op);
       const double speedup = hytm.total_ops > 0
                                  ? static_cast<double>(rh1.total_ops) /
                                        static_cast<double>(hytm.total_ops)
                                  : 0.0;
-      std::printf(" %13.2f", speedup);
+      report::Point& p = table.series[li].add_point(write_pct);
+      p.set("speedup", speedup);
+      p.set("rh1_total_ops", static_cast<double>(rh1.total_ops));
+      p.set("hytm_total_ops", static_cast<double>(hytm.total_ops));
     }
-    std::printf("\n");
   }
 }
 
 }  // namespace
-}  // namespace rhtm::bench
 
-int main(int argc, char** argv) {
-  const auto opt = rhtm::bench::Options::parse(argc, argv);
+RHTM_SCENARIO(fig3_randomarray, "Fig. 3 (right)",
+              "128K random array: RH1-Fast speedup over StdHyTM vs tx length x write %") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  rep.set_meta("workload", "random_array/131072");
   if (opt.use_sim) {
-    rhtm::bench::run<rhtm::HtmSim>(opt);
+    run_fig3_array<HtmSim>(opt, rep);
   } else {
-    rhtm::bench::run<rhtm::HtmEmul>(opt);
+    run_fig3_array<HtmEmul>(opt, rep);
   }
-  return 0;
+  return rep;
 }
+
+}  // namespace rhtm::bench

@@ -6,22 +6,22 @@
 // to ~1.5×; RH1 Fast preserves the speedup; the Mixed variants degrade at
 // high thread counts as software-mode retries pile up.
 
-#include "bench_common.h"
+#include "registry.h"
 #include "workloads/constant_sortedlist.h"
 
 namespace rhtm::bench {
 namespace {
 
 template <class H>
-void run(const Options& opt) {
+void run_fig3_list(const Options& opt, report::BenchReport& rep) {
   const std::size_t elems = 1'000;
   ConstantSortedList list(elems);
   constexpr unsigned kWritePercent = 5;
 
   TmUniverse<H> universe;
-  Table table("1K Nodes Constant Sorted List, 5% mutations (substrate=" +
-                  std::string(opt.substrate_name()) + ") - Figure 3 middle",
-              opt.threads);
+  report::TableData& table = rep.add_table(
+      "1K Nodes Constant Sorted List, 5% mutations (substrate=" +
+      std::string(opt.substrate_name()) + ") - Figure 3 middle");
 
   auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
     const std::uint64_t key = rng.below(2 * elems);
@@ -35,21 +35,25 @@ void run(const Options& opt) {
   };
 
   run_figure(universe, table,
-             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast, Series::kRh1Mix10,
-              Series::kRh1Mix100},
+             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast,
+              Series::kRh1Mix10, Series::kRh1Mix100},
              opt, op);
-  table.print();
 }
 
 }  // namespace
-}  // namespace rhtm::bench
 
-int main(int argc, char** argv) {
-  const auto opt = rhtm::bench::Options::parse(argc, argv);
+RHTM_SCENARIO(fig3_sortedlist, "Fig. 3 (middle)",
+              "1K-node constant sorted list, 5% mutations: the heavy-contention case") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  rep.set_meta("workload", "constant_sortedlist/1000");
+  rep.set_meta("write_percent", "5");
   if (opt.use_sim) {
-    rhtm::bench::run<rhtm::HtmSim>(opt);
+    run_fig3_list<HtmSim>(opt, rep);
   } else {
-    rhtm::bench::run<rhtm::HtmEmul>(opt);
+    run_fig3_list<HtmEmul>(opt, rep);
   }
-  return 0;
+  return rep;
 }
+
+}  // namespace rhtm::bench

@@ -1,102 +1,87 @@
 // Microbenchmark: per-access barrier cost of each protocol's fast path on
 // the emulated substrate — the paper's Figure-1 story at nanosecond scale.
-// Each iteration runs one transaction performing N reads (or writes) through
-// the protocol's handle; items/sec ≈ accesses/sec.
+// Each timed call runs one transaction performing N reads (or writes)
+// through the protocol's handle, so ns_per_access ≈ the barrier cost.
 //
 //   HTM           read = 1 load                       write = 1 store
 //   RH1 fast      read = 1 load                       write = stripe store + store
 //   StandardHyTM  read = metadata load + branch + load; write adds the store
 //   TL2           read = full STM read barrier         write = write-set insert
 
-#include <benchmark/benchmark.h>
+#include "registry.h"
 
-#include "core/rhtm.h"
-
-namespace rhtm {
+namespace rhtm::bench {
 namespace {
 
 constexpr std::size_t kCells = 1024;
+constexpr std::size_t kAccesses = 256;
 
 template <class Tm>
-void reads_loop(benchmark::State& state, TmUniverse<HtmEmul>& universe) {
+double reads_ns_per_access(const Options& opt, TmUniverse<HtmEmul>& universe) {
   Tm tm(universe);
   typename Tm::ThreadCtx ctx(tm);
   std::vector<TVar<TmWord>> cells(kCells);
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::size_t base = 0;
-  for (auto _ : state) {
+  const double ns = ns_per_op(opt.seconds, [&] {
     TmWord sum = 0;
     tm.atomically(ctx, [&](auto& tx) {
       sum = 0;
-      for (std::size_t i = 0; i < n; ++i) sum += cells[(base + i) & (kCells - 1)].read(tx);
+      for (std::size_t i = 0; i < kAccesses; ++i) {
+        sum += cells[(base + i) & (kCells - 1)].read(tx);
+      }
     });
-    benchmark::DoNotOptimize(sum);
-    base += n;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+    do_not_optimize(sum);
+    base += kAccesses;
+  });
+  return ns / static_cast<double>(kAccesses);
 }
 
 template <class Tm>
-void writes_loop(benchmark::State& state, TmUniverse<HtmEmul>& universe) {
+double writes_ns_per_access(const Options& opt, TmUniverse<HtmEmul>& universe) {
   Tm tm(universe);
   typename Tm::ThreadCtx ctx(tm);
   std::vector<TVar<TmWord>> cells(kCells);
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::size_t base = 0;
-  for (auto _ : state) {
+  const double ns = ns_per_op(opt.seconds, [&] {
     tm.atomically(ctx, [&](auto& tx) {
-      for (std::size_t i = 0; i < n; ++i) cells[(base + i) & (kCells - 1)].write(tx, i);
+      for (std::size_t i = 0; i < kAccesses; ++i) {
+        cells[(base + i) & (kCells - 1)].write(tx, i);
+      }
     });
-    base += n;
+    base += kAccesses;
+  });
+  return ns / static_cast<double>(kAccesses);
+}
+
+template <class Tm>
+void protocol_row(const Options& opt, report::TableData& table, const char* name) {
+  report::SeriesData& series = table.add_series(name);
+  report::Point& p = series.add_point(static_cast<double>(kAccesses));
+  {
+    TmUniverse<HtmEmul> u;
+    p.set("read_ns_per_access", reads_ns_per_access<Tm>(opt, u));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+  {
+    TmUniverse<HtmEmul> u;
+    p.set("write_ns_per_access", writes_ns_per_access<Tm>(opt, u));
+  }
 }
-
-void BM_Reads_HTM(benchmark::State& state) {
-  TmUniverse<HtmEmul> u;
-  reads_loop<EmulHtmOnly>(state, u);
-}
-void BM_Reads_RH1Fast(benchmark::State& state) {
-  TmUniverse<HtmEmul> u;
-  reads_loop<EmulHybridTm>(state, u);
-}
-void BM_Reads_StdHyTM(benchmark::State& state) {
-  TmUniverse<HtmEmul> u;
-  reads_loop<EmulStandardHytm>(state, u);
-}
-void BM_Reads_TL2(benchmark::State& state) {
-  TmUniverse<HtmEmul> u;
-  reads_loop<EmulTl2>(state, u);
-}
-BENCHMARK(BM_Reads_HTM)->Arg(256);
-BENCHMARK(BM_Reads_RH1Fast)->Arg(256);
-BENCHMARK(BM_Reads_StdHyTM)->Arg(256);
-BENCHMARK(BM_Reads_TL2)->Arg(256);
-
-void BM_Writes_HTM(benchmark::State& state) {
-  TmUniverse<HtmEmul> u;
-  writes_loop<EmulHtmOnly>(state, u);
-}
-void BM_Writes_RH1Fast(benchmark::State& state) {
-  TmUniverse<HtmEmul> u;
-  writes_loop<EmulHybridTm>(state, u);
-}
-void BM_Writes_StdHyTM(benchmark::State& state) {
-  TmUniverse<HtmEmul> u;
-  writes_loop<EmulStandardHytm>(state, u);
-}
-void BM_Writes_TL2(benchmark::State& state) {
-  TmUniverse<HtmEmul> u;
-  writes_loop<EmulTl2>(state, u);
-}
-BENCHMARK(BM_Writes_HTM)->Arg(256);
-BENCHMARK(BM_Writes_RH1Fast)->Arg(256);
-BENCHMARK(BM_Writes_StdHyTM)->Arg(256);
-BENCHMARK(BM_Writes_TL2)->Arg(256);
 
 }  // namespace
-}  // namespace rhtm
 
-BENCHMARK_MAIN();
+RHTM_SCENARIO(micro_barriers, "—",
+              "per-access barrier cost of each protocol's fast path (emul)") {
+  report::BenchReport rep;
+  rep.substrate = "emul";
+  rep.set_meta("accesses_per_tx", std::to_string(kAccesses));
+  report::TableData& table =
+      rep.add_table("Microbench - per-access barrier cost of each protocol's fast path (emul)",
+                    report::TableStyle::kWide, "accesses", "read_ns_per_access");
+  protocol_row<EmulHtmOnly>(opt, table, "HTM");
+  protocol_row<EmulHybridTm>(opt, table, "RH1-Fast");
+  protocol_row<EmulStandardHytm>(opt, table, "StandardHyTM");
+  protocol_row<EmulTl2>(opt, table, "TL2");
+  return rep;
+}
+
+}  // namespace rhtm::bench

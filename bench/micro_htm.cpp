@@ -1,135 +1,137 @@
 // Microbenchmarks (A5): primitive costs of the simulated and emulated HTM
 // substrates, the clock, the stripe mapping and the software-path
-// containers. google-benchmark timing.
+// containers. Deadline-driven timing loops (bench_common.h ns_per_op) — no
+// external benchmark library.
 
-#include <benchmark/benchmark.h>
-
-#include "core/rhtm.h"
+#include "registry.h"
 #include "stm/read_set.h"
 #include "stm/write_set.h"
 
-namespace rhtm {
+namespace rhtm::bench {
 namespace {
 
-void BM_SimTxReadOnly(benchmark::State& state) {
-  HtmSim sim;
-  HtmSim::Tx tx(sim);
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<TmCell> cells(n);
-  for (auto _ : state) {
-    const auto outcome = sim.execute(tx, [&](HtmSim::Tx& t) {
-      TmWord sum = 0;
-      for (auto& c : cells) sum += t.load(c);
-      benchmark::DoNotOptimize(sum);
-    });
-    benchmark::DoNotOptimize(outcome);
+/// Adds one (series, size) point with the nanoseconds per call of `f` and,
+/// when `items_per_call` > 0, the derived per-item cost.
+template <class F>
+void time_primitive(report::TableData& table, const Options& opt, const char* name,
+                    double size, double items_per_call, F&& f) {
+  report::SeriesData* series = nullptr;
+  for (report::SeriesData& s : table.series) {
+    if (s.name == name) series = &s;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+  if (series == nullptr) series = &table.add_series(name);
+  const double ns = ns_per_op(opt.seconds, f);
+  report::Point& p = series->add_point(size);
+  p.set("ns_per_call", ns);
+  if (items_per_call > 0) p.set("ns_per_item", ns / items_per_call);
 }
-BENCHMARK(BM_SimTxReadOnly)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_SimTxWriteCommit(benchmark::State& state) {
-  HtmSim sim;
-  HtmSim::Tx tx(sim);
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<TmCell> cells(n);
-  for (auto _ : state) {
-    const auto outcome = sim.execute(tx, [&](HtmSim::Tx& t) {
-      for (auto& c : cells) t.store(c, 1);
-    });
-    benchmark::DoNotOptimize(outcome);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_SimTxWriteCommit)->Arg(8)->Arg(64)->Arg(256);
-
-void BM_EmulTxReadOnly(benchmark::State& state) {
-  HtmEmul emul;
-  HtmEmul::Tx tx(emul);
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<TmCell> cells(n);
-  for (auto _ : state) {
-    const auto outcome = emul.execute(tx, [&](HtmEmul::Tx& t) {
-      TmWord sum = 0;
-      for (auto& c : cells) sum += t.load(c);
-      benchmark::DoNotOptimize(sum);
-    });
-    benchmark::DoNotOptimize(outcome);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_EmulTxReadOnly)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_SimNontxStore(benchmark::State& state) {
-  HtmSim sim;
-  TmCell cell;
-  TmWord v = 0;
-  for (auto _ : state) {
-    sim.nontx_store(cell, ++v);
-  }
-}
-BENCHMARK(BM_SimNontxStore);
-
-void BM_SimAbortRoundtrip(benchmark::State& state) {
-  HtmSim sim;
-  HtmSim::Tx tx(sim);
-  TmCell cell;
-  for (auto _ : state) {
-    const auto outcome = sim.execute(tx, [&](HtmSim::Tx& t) {
-      t.store(cell, 1);
-      t.abort_explicit();
-    });
-    benchmark::DoNotOptimize(outcome);
-  }
-}
-BENCHMARK(BM_SimAbortRoundtrip);
-
-void BM_ClockNext(benchmark::State& state) {
-  GlobalVersionClock clock(static_cast<GvMode>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(clock.next());
-  }
-}
-BENCHMARK(BM_ClockNext)->Arg(0)->Arg(1)->Arg(2);  // GV1, GV4, GV6
-
-void BM_StripeIndex(benchmark::State& state) {
-  StripeTable table;
-  std::uint64_t data[1024];
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(table.index_of(&data[i++ & 1023]));
-  }
-}
-BENCHMARK(BM_StripeIndex);
-
-void BM_WriteSetPutFind(benchmark::State& state) {
-  WriteSet ws;
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<TmCell> cells(n);
-  for (auto _ : state) {
-    ws.clear();
-    for (std::size_t i = 0; i < n; ++i) ws.put(cells[i], i, static_cast<std::uint32_t>(i));
-    for (std::size_t i = 0; i < n; ++i) benchmark::DoNotOptimize(ws.find(cells[i]));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(2 * n));
-}
-BENCHMARK(BM_WriteSetPutFind)->Arg(16)->Arg(256);
-
-void BM_ReadSetAdd(benchmark::State& state) {
-  ReadSet rs;
-  for (auto _ : state) {
-    rs.clear();
-    for (std::uint32_t i = 0; i < 256; ++i) rs.add(i, i);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
-}
-BENCHMARK(BM_ReadSetAdd);
 
 }  // namespace
-}  // namespace rhtm
 
-BENCHMARK_MAIN();
+RHTM_SCENARIO(micro_htm, "— (A5)",
+              "substrate/clock/stripe/read-set/write-set primitive costs") {
+  report::BenchReport rep;
+  rep.substrate = "mixed";
+  report::TableData& table =
+      rep.add_table("Microbench A5 - substrate and container primitive costs",
+                    report::TableStyle::kWide, "size", "ns_per_call");
+
+  {  // Simulated substrate: read-only transactions of n loads.
+    HtmSim sim;
+    HtmSim::Tx tx(sim);
+    for (const std::size_t n : {16ul, 256ul, 4096ul}) {
+      std::vector<TmCell> cells(n);
+      time_primitive(table, opt, "sim_tx_read_only", static_cast<double>(n),
+                     static_cast<double>(n), [&] {
+                       const auto outcome = sim.execute(tx, [&](HtmSim::Tx& t) {
+                         TmWord sum = 0;
+                         for (auto& c : cells) sum += t.load(c);
+                         do_not_optimize(sum);
+                       });
+                       do_not_optimize(outcome);
+                     });
+    }
+  }
+  {  // Simulated substrate: write+commit transactions of n stores.
+    HtmSim sim;
+    HtmSim::Tx tx(sim);
+    for (const std::size_t n : {8ul, 64ul, 256ul}) {
+      std::vector<TmCell> cells(n);
+      time_primitive(table, opt, "sim_tx_write_commit", static_cast<double>(n),
+                     static_cast<double>(n), [&] {
+                       const auto outcome = sim.execute(tx, [&](HtmSim::Tx& t) {
+                         for (auto& c : cells) t.store(c, 1);
+                       });
+                       do_not_optimize(outcome);
+                     });
+    }
+  }
+  {  // Emulated substrate: read-only transactions of n plain loads.
+    HtmEmul emul;
+    HtmEmul::Tx tx(emul);
+    for (const std::size_t n : {16ul, 256ul, 4096ul}) {
+      std::vector<TmCell> cells(n);
+      time_primitive(table, opt, "emul_tx_read_only", static_cast<double>(n),
+                     static_cast<double>(n), [&] {
+                       const auto outcome = emul.execute(tx, [&](HtmEmul::Tx& t) {
+                         TmWord sum = 0;
+                         for (auto& c : cells) sum += t.load(c);
+                         do_not_optimize(sum);
+                       });
+                       do_not_optimize(outcome);
+                     });
+    }
+  }
+  {  // Non-transactional store through the simulator's publication lock.
+    HtmSim sim;
+    TmCell cell;
+    TmWord v = 0;
+    time_primitive(table, opt, "sim_nontx_store", 1, 0, [&] { sim.nontx_store(cell, ++v); });
+  }
+  {  // Explicit-abort round trip on the simulator.
+    HtmSim sim;
+    HtmSim::Tx tx(sim);
+    TmCell cell;
+    time_primitive(table, opt, "sim_abort_roundtrip", 1, 0, [&] {
+      const auto outcome = sim.execute(tx, [&](HtmSim::Tx& t) {
+        t.store(cell, 1);
+        t.abort_explicit();
+      });
+      do_not_optimize(outcome);
+    });
+  }
+  for (const GvMode mode : {GvMode::kGv1, GvMode::kGv4, GvMode::kGv6}) {
+    GlobalVersionClock clock(mode);
+    time_primitive(table, opt, (std::string("clock_next_") + to_string(mode)).c_str(), 1, 0,
+                   [&] { do_not_optimize(clock.next()); });
+  }
+  {  // Address -> stripe index mapping.
+    StripeTable stripe_table;
+    std::uint64_t data[1024];
+    std::size_t i = 0;
+    time_primitive(table, opt, "stripe_index", 1, 0,
+                   [&] { do_not_optimize(stripe_table.index_of(&data[i++ & 1023])); });
+  }
+  for (const std::size_t n : {16ul, 256ul}) {  // write-set insert + lookup
+    WriteSet ws;
+    std::vector<TmCell> cells(n);
+    time_primitive(table, opt, "write_set_put_find", static_cast<double>(n),
+                   static_cast<double>(2 * n), [&] {
+                     ws.clear();
+                     for (std::size_t i = 0; i < n; ++i) {
+                       ws.put(cells[i], i, static_cast<std::uint32_t>(i));
+                     }
+                     for (std::size_t i = 0; i < n; ++i) do_not_optimize(ws.find(cells[i]));
+                   });
+  }
+  {  // read-set append
+    ReadSet rs;
+    time_primitive(table, opt, "read_set_add", 256, 256, [&] {
+      rs.clear();
+      for (std::uint32_t i = 0; i < 256; ++i) rs.add(i, i);
+    });
+  }
+  return rep;
+}
+
+}  // namespace rhtm::bench

@@ -1,0 +1,92 @@
+// run_all — the unified driver over the scenario registry.
+//
+//   run_all --list                         enumerate registered scenarios
+//   run_all                                run every scenario
+//   run_all --scenario=fig1,skiplist       run scenarios whose name contains
+//                                          "fig1" or "skiplist"
+//
+// Every run prints the scenario's paper-style tables and writes a
+// machine-readable BENCH_<scenario>.json (see docs/BENCHMARKS.md for the
+// schema and diffing recipes) built from the same stored points, unless
+// --no-json is given.
+//
+// This file also provides main() for the per-figure binaries: each legacy
+// target (fig1_rbtree, ...) links run_all.cpp plus its own scenario file,
+// so it is the same driver restricted to the scenarios linked in.
+
+#include <chrono>
+#include <string_view>
+
+#include "registry.h"
+
+namespace rhtm::bench {
+
+namespace {
+
+bool name_matches(const Options& opt, const char* name) {
+  if (opt.scenario_filter.empty()) return true;
+  for (const std::string& token : opt.scenario_filter) {
+    if (std::string_view(name).find(token) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int registry_main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  const std::vector<Scenario> scenarios = Registry::instance().sorted();
+
+  if (opt.list) {
+    std::printf("%-20s %-14s %s\n", "scenario", "paper", "summary");
+    for (const Scenario& s : scenarios) {
+      std::printf("%-20s %-14s %s\n", s.name, s.paper_ref, s.summary);
+    }
+    std::printf("# %zu scenarios registered\n", scenarios.size());
+    return 0;
+  }
+
+  std::vector<const Scenario*> selected;
+  for (const Scenario& s : scenarios) {
+    if (name_matches(opt, s.name)) selected.push_back(&s);
+  }
+  for (const std::string& token : opt.scenario_filter) {
+    bool hit = false;
+    for (const Scenario* s : selected) {
+      if (std::string_view(s->name).find(token) != std::string_view::npos) hit = true;
+    }
+    if (!hit) {
+      std::fprintf(stderr, "%s: no scenario matches '%s'; try --list\n", argv[0],
+                   token.c_str());
+      return 2;
+    }
+  }
+
+  bool first = true;
+  for (const Scenario* s : selected) {
+    if (!first) std::printf("\n");
+    first = false;
+    std::printf("## %s (%s)\n", s->name, s->paper_ref);
+    const auto t0 = std::chrono::steady_clock::now();
+    report::BenchReport rep = s->run(opt);
+    rep.scenario = s->name;
+    rep.seconds = opt.seconds;
+    rep.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    rep.print();
+    if (opt.write_json) {
+      const std::string path = rep.write_json(opt.json_dir);
+      if (path.empty()) {
+        std::fprintf(stderr, "%s: cannot write report under '%s'\n", argv[0],
+                     opt.json_dir.c_str());
+        return 1;
+      }
+      std::printf("# wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace rhtm::bench
+
+int main(int argc, char** argv) { return rhtm::bench::registry_main(argc, argv); }

@@ -1,0 +1,59 @@
+// Extension scenario — constant transactional skiplist, 20% mutations,
+// swept through EVERY protocol (the four paper series, the RH1 mixed modes,
+// and both extension hybrids). The skiplist's ~2·log2 n probed keys per
+// operation sit between the hash table's 2-5 reads and the sorted list's
+// O(n) scans, filling the read-set-size gap in the workload matrix — the
+// axis Alistarh et al. and Brown & Ravi argue HyTM results are most
+// sensitive to.
+
+#include "registry.h"
+#include "workloads/constant_skiplist.h"
+
+namespace rhtm::bench {
+namespace {
+
+template <class H>
+void run_skiplist(const Options& opt, report::BenchReport& rep, std::size_t nodes) {
+  ConstantSkipList list(nodes);
+  constexpr unsigned kWritePercent = 20;
+
+  TmUniverse<H> universe;
+  report::TableData& table = rep.add_table(
+      std::to_string(nodes) + " Nodes Constant Skiplist, 20% mutations, all protocols "
+      "(substrate=" + std::string(opt.substrate_name()) + ")");
+
+  auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
+    const std::uint64_t key = rng.below(2 * nodes);
+    if (rng.percent_chance(kWritePercent)) {
+      tm.atomically(ctx, [&](auto& tx) { (void)list.update(tx, key, rng.next_u64()); });
+    } else {
+      TmWord sink = 0;
+      tm.atomically(ctx, [&](auto& tx) { (void)list.search(tx, key, &sink); });
+      do_not_optimize(sink);
+    }
+  };
+
+  run_figure(universe, table,
+             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast,
+              Series::kRh1Mix10, Series::kRh1Mix100, Series::kHybridNorec, Series::kPhasedTm},
+             opt, op);
+}
+
+}  // namespace
+
+RHTM_SCENARIO(skiplist, "extension",
+              "Constant skiplist, 20% mutations, every protocol incl. NOrec/Phased") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  const std::size_t nodes = opt.full ? 256 * 1024 : 32 * 1024;
+  rep.set_meta("workload", "constant_skiplist/" + std::to_string(nodes));
+  rep.set_meta("write_percent", "20");
+  if (opt.use_sim) {
+    run_skiplist<HtmSim>(opt, rep, nodes);
+  } else {
+    run_skiplist<HtmEmul>(opt, rep, nodes);
+  }
+  return rep;
+}
+
+}  // namespace rhtm::bench

@@ -1,0 +1,75 @@
+// Extension scenario — Zipfian-skewed random-array mix, swept through EVERY
+// protocol. Uniform access (fig3_randomarray) is the paper's best case for
+// distributed conflicts; real workloads are skewed, concentrating traffic
+// on a few hot stripes. Two skew levels (theta 0.8 and the YCSB-default
+// 0.99) expose how each protocol degrades as the hot set shrinks: the
+// fine-grained RH1 paths should keep separating from Hybrid NOrec's global
+// sequence lock as contention concentrates.
+
+#include "registry.h"
+#include "workloads/random_array.h"
+#include "workloads/zipf.h"
+
+namespace rhtm::bench {
+namespace {
+
+constexpr std::size_t kArrayWords = 128 * 1024;  // power of two: see scatter()
+constexpr unsigned kTxLen = 32;
+constexpr unsigned kWritePercent = 20;
+
+/// Bijectively scatters hot ranks across the (power-of-two sized) array so
+/// the skew measures *stripe* contention, not adjacent-rank cache sharing.
+constexpr std::size_t scatter(std::size_t rank) {
+  return (rank * 0x9e3779b97f4a7c15ull) & (kArrayWords - 1);
+}
+
+template <class H>
+void run_skew(const Options& opt, report::BenchReport& rep, const RandomArray& array,
+              double theta) {
+  const ZipfianGenerator zipf(kArrayWords, theta);
+
+  TmUniverse<H> universe;
+  report::TableData& table = rep.add_table(
+      "128K Zipfian Random Array, theta=" + std::to_string(theta).substr(0, 4) +
+      ", len=32, 20% writes, all protocols (substrate=" +
+      std::string(opt.substrate_name()) + ")");
+
+  auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
+    tm.atomically(ctx, [&](auto& tx) {
+      do_not_optimize(array.op_indexed(tx, rng, kTxLen, kWritePercent, [&](Xoshiro256& r) {
+        return scatter(zipf.next(r));
+      }));
+    });
+  };
+
+  run_figure(universe, table,
+             {Series::kHtm, Series::kStdHytm, Series::kTl2, Series::kRh1Fast,
+              Series::kRh1Mix10, Series::kRh1Mix100, Series::kHybridNorec, Series::kPhasedTm},
+             opt, op);
+}
+
+template <class H>
+void run_zipfian(const Options& opt, report::BenchReport& rep) {
+  RandomArray array(kArrayWords);
+  run_skew<H>(opt, rep, array, 0.8);
+  run_skew<H>(opt, rep, array, 0.99);
+}
+
+}  // namespace
+
+RHTM_SCENARIO(zipfian_mix, "extension",
+              "Zipfian-skewed 128K array mix (theta 0.8 / 0.99), every protocol") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  rep.set_meta("workload", "random_array/131072 zipfian");
+  rep.set_meta("tx_len", std::to_string(kTxLen));
+  rep.set_meta("write_percent", std::to_string(kWritePercent));
+  if (opt.use_sim) {
+    run_zipfian<HtmSim>(opt, rep);
+  } else {
+    run_zipfian<HtmEmul>(opt, rep);
+  }
+  return rep;
+}
+
+}  // namespace rhtm::bench

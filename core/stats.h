@@ -41,6 +41,20 @@ enum class ExecPath : unsigned {
   kCount
 };
 
+/// Snake-case path names, used as metric keys in the JSON bench reports.
+[[nodiscard]] inline const char* to_string(ExecPath p) {
+  switch (p) {
+    case ExecPath::kHtm: return "htm";
+    case ExecPath::kRh1Fast: return "rh1_fast";
+    case ExecPath::kRh1Slow: return "rh1_slow";
+    case ExecPath::kRh2Slow: return "rh2_slow";
+    case ExecPath::kRh2SlowSlow: return "rh2_slow_slow";
+    case ExecPath::kStm: return "stm";
+    case ExecPath::kCount: break;
+  }
+  return "?";
+}
+
 /// Why an attempt aborted.
 enum class AbortCause : unsigned {
   kHtmConflict,    ///< hardware conflict (sim: commit validation failed)
@@ -51,6 +65,20 @@ enum class AbortCause : unsigned {
   kStmLocked,      ///< software path hit a locked stripe / commit lock
   kCount
 };
+
+/// Snake-case cause names, used as metric keys in the JSON bench reports.
+[[nodiscard]] inline const char* to_string(AbortCause c) {
+  switch (c) {
+    case AbortCause::kHtmConflict: return "htm_conflict";
+    case AbortCause::kHtmCapacity: return "htm_capacity";
+    case AbortCause::kHtmExplicit: return "htm_explicit";
+    case AbortCause::kInjected: return "injected";
+    case AbortCause::kStmValidation: return "stm_validation";
+    case AbortCause::kStmLocked: return "stm_locked";
+    case AbortCause::kCount: break;
+  }
+  return "?";
+}
 
 /// Per-thread counters. Owned by a protocol ThreadCtx; merged by the driver.
 struct TxStats {

@@ -1,0 +1,81 @@
+// Registry smoke test: every registered scenario (this binary links ALL of
+// bench/'s scenario TUs) runs one tiny measurement point on the simulated
+// substrate and must produce a well-formed report — at least one table,
+// every table non-empty, and some nonzero primary metric. Also pins the
+// registry contract itself: unique names, and the full scenario set the
+// acceptance criteria enumerate.
+
+#include <set>
+#include <string>
+
+#include "bench/registry.h"
+#include "test_common.h"
+
+namespace rhtm::test {
+namespace {
+
+bench::Options tiny_options() {
+  bench::Options opt;
+  opt.seconds = 0.002;
+  opt.calib_seconds = 0.002;
+  opt.threads = {1, 2};
+  opt.use_sim = true;  // HtmSim: real conflict/capacity semantics
+  opt.write_json = false;
+  return opt;
+}
+
+void test_registry_contents() {
+  const auto scenarios = bench::Registry::instance().sorted();
+  CHECK(scenarios.size() >= 16);
+  std::set<std::string> names;
+  for (const bench::Scenario& s : scenarios) {
+    CHECK(s.name != nullptr && s.paper_ref != nullptr && s.summary != nullptr);
+    CHECK(s.run != nullptr);
+    CHECK(names.insert(s.name).second);  // unique
+  }
+  for (const char* required :
+       {"fig1_rbtree", "fig2_rbtree_mix", "fig2_breakdown", "fig3_hashtable",
+        "fig3_sortedlist", "fig3_randomarray", "ext_hybrids", "ablation_clock",
+        "ablation_stripes", "ablation_capacity", "ablation_readmask", "ablation_policy",
+        "micro_htm", "micro_barriers", "skiplist", "zipfian_mix"}) {
+    CHECK(names.count(required) == 1);
+  }
+}
+
+void test_every_scenario_runs_under_sim() {
+  const bench::Options opt = tiny_options();
+  for (const bench::Scenario& s : bench::Registry::instance().sorted()) {
+    std::printf("    running %s\n", s.name);
+    report::BenchReport rep = s.run(opt);
+    CHECK(!rep.tables.empty());
+    CHECK(!rep.substrate.empty());
+    bool any_nonzero_primary = false;
+    for (const report::TableData& table : rep.tables) {
+      CHECK(!table.series.empty());
+      bool any_point = false;
+      for (const report::SeriesData& series : table.series) {
+        CHECK(!series.name.empty());
+        for (const report::Point& p : series.points) {
+          any_point = true;
+          CHECK(!p.metrics.empty());
+          const double* primary = p.find(table.primary_metric);
+          if (primary != nullptr && *primary != 0) any_nonzero_primary = true;
+        }
+      }
+      CHECK(any_point);
+    }
+    if (!any_nonzero_primary) std::printf("    (all-zero primary metric in %s)\n", s.name);
+    CHECK(any_nonzero_primary);
+  }
+}
+
+}  // namespace
+}  // namespace rhtm::test
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      {"registry_contents", rhtm::test::test_registry_contents},
+      {"every_scenario_runs_under_sim", rhtm::test::test_every_scenario_runs_under_sim},
+  });
+}

@@ -22,14 +22,25 @@ class RandomArray {
 
   [[nodiscard]] std::size_t size() const { return cells_.size(); }
 
-  /// One transaction body: `len` accesses at random indices, each a write
-  /// with probability write_percent/100, otherwise a read accumulated into
-  /// the returned checksum.
+  /// One transaction body: `len` accesses at uniformly random indices, each
+  /// a write with probability write_percent/100, otherwise a read
+  /// accumulated into the returned checksum.
   template <class Handle>
   TmWord op(Handle& h, Xoshiro256& rng, unsigned len, unsigned write_percent) const {
+    return op_indexed(h, rng, len, write_percent, [&](Xoshiro256& r) {
+      return static_cast<std::size_t>(r.below(cells_.size()));
+    });
+  }
+
+  /// Same transaction body with a caller-provided index distribution
+  /// (`index(rng) -> std::size_t` in [0, size())) — e.g. a Zipfian sampler
+  /// for skewed mixes.
+  template <class Handle, class IndexFn>
+  TmWord op_indexed(Handle& h, Xoshiro256& rng, unsigned len, unsigned write_percent,
+                    IndexFn&& index) const {
     TmWord sum = 0;
     for (unsigned i = 0; i < len; ++i) {
-      const std::size_t idx = static_cast<std::size_t>(rng.below(cells_.size()));
+      const std::size_t idx = index(rng);
       if (rng.percent_chance(write_percent)) {
         cells_[idx].write(h, sum + i);
       } else {

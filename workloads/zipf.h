@@ -1,0 +1,62 @@
+#pragma once
+
+// Zipfian index generator (Gray et al.'s rejection-free inversion, the YCSB
+// formulation): O(n) setup, O(1) sampling. theta in (0,1) is the skew —
+// 0.99 is the YCSB default where ~10% of keys draw ~90% of accesses. Ranks
+// are returned in order (0 is the hottest); callers that want the hot keys
+// scattered across memory should apply their own permutation.
+//
+// Skewed access is exactly the regime where HyTM conclusions are most
+// sensitive to workload shape (Alistarh et al.; Brown & Ravi): a few hot
+// stripes concentrate both genuine conflicts and false sharing.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/rng.h"
+
+namespace rhtm {
+
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(std::size_t n, double theta = 0.99)
+      : n_(n == 0 ? 1 : n), theta_(theta) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+  /// Samples a rank in [0, n): rank 0 is drawn with the highest probability.
+  [[nodiscard]] std::size_t next(Xoshiro256& rng) const {
+    // 53-bit mantissa-exact uniform in [0, 1).
+    const double u =
+        static_cast<double>(rng.next_u64() >> 11) * (1.0 / 9007199254740992.0);
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::size_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank < n_ ? rank : n_ - 1;
+  }
+
+ private:
+  static double zeta(std::size_t n, double theta) {
+    double sum = 0;
+    for (std::size_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::size_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace rhtm
