@@ -32,7 +32,7 @@ RHTM_SCENARIO(ablation_capacity, "§1.2 (A3)",
   std::vector<TVar<TmWord>> data(kWords);
 
   report::BenchReport rep;
-  rep.substrate = "sim";
+  rep.substrate = SubstrateTraits<HtmSim>::kName;
   rep.set_meta("htm_budget_entries", std::to_string(kCapacity));
   rep.set_meta("note",
                "expectation: fast dies past the budget; the RH1 slow commit (metadata-only "

@@ -18,7 +18,7 @@ RHTM_SCENARIO(ablation_clock, "§2.2 (A1)",
   const unsigned threads = 4;
 
   report::BenchReport rep;
-  rep.substrate = "sim";
+  rep.substrate = SubstrateTraits<HtmSim>::kName;
   rep.set_meta("workload", "random_array/65536 len=64 write=20%");
   report::TableData& table = rep.add_table(
       "Ablation A1 - clock policy (RH1 Mixed 100, random array, " +

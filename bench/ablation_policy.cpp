@@ -48,7 +48,7 @@ void run_policy(const Options& opt, report::SeriesData& series, std::uint32_t in
 RHTM_SCENARIO(ablation_policy, "§2.3 (A6)",
               "Mixed-N retry coin vs adaptive contention manager vs abort pressure") {
   report::BenchReport rep;
-  rep.substrate = "sim";
+  rep.substrate = SubstrateTraits<HtmSim>::kName;
   rep.set_meta("workload", "counter array/256");
   rep.set_meta("note", "mixed-0 has no point at inject_bp=10000: it would livelock");
   report::TableData& table = rep.add_table(

@@ -10,7 +10,7 @@ namespace rhtm::bench {
 RHTM_SCENARIO(ablation_readmask, "§4.1 (A4)",
               "RH2 visible-read publication: fetch-add vs CAS loop") {
   report::BenchReport rep;
-  rep.substrate = "sim";
+  rep.substrate = SubstrateTraits<HtmSim>::kName;
   rep.set_meta("workload", "random_array/16384 len=32 write=25%, forced RH2");
   report::TableData& table = rep.add_table(
       "Ablation A4 - RH2 read-mask publication: fetch-add vs CAS loop (sim)");

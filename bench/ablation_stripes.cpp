@@ -13,7 +13,7 @@ RHTM_SCENARIO(ablation_stripes, "§2 (A2)",
   const unsigned threads = 4;
 
   report::BenchReport rep;
-  rep.substrate = "sim";
+  rep.substrate = SubstrateTraits<HtmSim>::kName;
   rep.set_meta("workload", "random_array/65536 len=32 write=50%");
   report::TableData& table = rep.add_table(
       "Ablation A2 - stripe geometry (TL2, random array 64K, " + std::to_string(threads) +

@@ -10,7 +10,7 @@
 //
 //   --seconds=<double>      per measurement point            (default 0.08)
 //   --threads=<a,b,c>       thread counts                    (default 1,2,4,...,20)
-//   --substrate=emul|sim    HTM substrate                    (default emul)
+//   --substrate=emul|sim|rtm  HTM substrate                  (default emul)
 //   --full                  paper-scale sizes + longer runs
 //   --list                  enumerate registered scenarios and exit
 //   --scenario=<a,b>        run only scenarios whose name contains a token
@@ -44,7 +44,7 @@ struct Options {
   double seconds = 0.08;
   double calib_seconds = 0.06;
   std::vector<unsigned> threads = {1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
-  bool use_sim = false;
+  SubstrateKind substrate = SubstrateKind::kEmul;
   bool full = false;
 
   // Registry-driver flags (bench/run_all.cpp).
@@ -55,12 +55,14 @@ struct Options {
 
   static void usage(const char* argv0, std::FILE* out) {
     std::fprintf(out,
-                 "usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim] [--full]\n"
+                 "usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim|rtm] [--full]\n"
                  "          [--list] [--scenario=a,b] [--json-dir=DIR] [--no-json]\n"
                  "\n"
                  "  --seconds=S          measurement time per (series, thread-count) point\n"
                  "  --threads=a,b,c      thread counts to sweep\n"
-                 "  --substrate=emul|sim HTM substrate (plain-access emulation | simulator)\n"
+                 "  --substrate=emul|sim|rtm\n"
+                 "                       HTM substrate (plain-access emulation | simulator |\n"
+                 "                       real Intel RTM; rtm needs an -mrtm build + TSX host)\n"
                  "  --full               paper-scale sizes and 1 s points\n"
                  "  --list               list registered scenarios and exit\n"
                  "  --scenario=a,b       run only scenarios whose name contains a token\n"
@@ -100,12 +102,17 @@ struct Options {
           p = *end == ',' ? end + 1 : end;
         }
         if (opt.threads.empty()) die("empty thread list in", arg);
-      } else if (arg == "--substrate=sim") {
-        opt.use_sim = true;
-      } else if (arg == "--substrate=emul") {
-        opt.use_sim = false;
       } else if (arg.rfind("--substrate=", 0) == 0) {
-        die("unknown substrate in", arg);
+        if (!parse_substrate_kind(arg.c_str() + 12, &opt.substrate)) {
+          die("unknown substrate in", arg);
+        }
+        if (!substrate_compiled(opt.substrate)) {
+          std::fprintf(stderr,
+                       "%s: --substrate=%s requires a build with RTM intrinsics; "
+                       "reconfigure with -DRHTM_ENABLE_RTM=ON (adds -mrtm)\n",
+                       argv[0], to_string(opt.substrate));
+          std::exit(2);
+        }
       } else if (arg == "--full") {
         opt.full = true;
         opt.seconds = 1.0;
@@ -136,8 +143,66 @@ struct Options {
     return opt;
   }
 
-  [[nodiscard]] const char* substrate_name() const { return use_sim ? "sim" : "emul"; }
+  [[nodiscard]] const char* substrate_name() const { return to_string(substrate); }
 };
+
+/// Carries the substrate type through the generic dispatch lambda:
+/// `dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { ... })`.
+template <class H>
+struct SubstrateTag {
+  using type = H;
+};
+
+/// Exits with a diagnostic when the chosen substrate cannot run on this
+/// host. The only runtime-gated substrate is rtm: the flag parser already
+/// rejected it in builds without RTM intrinsics, so reaching this with an
+/// unavailable rtm means the *CPU* lacks (or hides) TSX. Never SIGILLs:
+/// _xbegin is not executed unless CPUID advertises RTM.
+inline void require_substrate_available(const Options& opt) {
+  if (opt.substrate != SubstrateKind::kRtm) return;
+  if (!HtmRtm::available()) {
+    std::fprintf(stderr,
+                 "--substrate=rtm: CPUID reports no RTM support on this host; "
+                 "use --substrate=emul or --substrate=sim\n");
+    std::exit(2);
+  }
+  if (!HtmRtm::hardware_viable()) {
+    static bool warned = false;  // per-scenario dispatch: warn once per process
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "warning: CPUID advertises RTM but no probe transaction committed "
+                   "(TSX likely disabled by microcode); hardware paths will run on "
+                   "their software fallbacks\n");
+    }
+  }
+}
+
+/// THE substrate dispatch: maps the runtime --substrate choice onto a
+/// compile-time substrate type and invokes `fn(SubstrateTag<H>{})`. Scenario
+/// TUs contain no substrate names beyond their one templated body; adding a
+/// substrate means extending this switch (and the core traits), nothing
+/// else.
+template <class Fn>
+decltype(auto) dispatch_substrate(const Options& opt, Fn&& fn) {
+  require_substrate_available(opt);
+  switch (opt.substrate) {
+    case SubstrateKind::kSim: return std::forward<Fn>(fn)(SubstrateTag<HtmSim>{});
+    case SubstrateKind::kRtm: return std::forward<Fn>(fn)(SubstrateTag<HtmRtm>{});
+    case SubstrateKind::kEmul: break;
+  }
+  return std::forward<Fn>(fn)(SubstrateTag<HtmEmul>{});
+}
+
+/// Applies `fn(SubstrateTag<H>{})` to every substrate this binary can run:
+/// emul and sim always, rtm when the hardware is actually usable. For
+/// scenarios (micro_htm) and tests that sweep the substrate axis itself.
+template <class Fn>
+void for_each_available_substrate(Fn&& fn) {
+  fn(SubstrateTag<HtmEmul>{});
+  fn(SubstrateTag<HtmSim>{});
+  if (HtmRtm::hardware_viable()) fn(SubstrateTag<HtmRtm>{});
+}
 
 /// Copies one throughput run into a report point: the headline metrics plus
 /// every non-zero per-path / per-cause counter.

@@ -57,7 +57,9 @@ void run_capacity_pressure_table(const Options& opt, report::BenchReport& rep) {
   constexpr unsigned kBulkPercent = 2;
 
   report::TableData& table = rep.add_table(
-      "ext-hybrids - 2% oversized transactions (genuine capacity aborts, substrate=sim)");
+      std::string("ext-hybrids - 2% oversized transactions (genuine capacity aborts, "
+                  "substrate=") +
+      SubstrateTraits<H>::kName + ")");
   table.add_series("RH1-Mix100");
   table.add_series("HybridNOrec");
   table.add_series("PhasedTM");
@@ -120,18 +122,18 @@ void run_capacity_pressure_table(const Options& opt, report::BenchReport& rep) {
 RHTM_SCENARIO(ext_hybrids, "§1 (ext)",
               "RH1-Mix100 vs Hybrid NOrec vs Phased TM, incl. genuine capacity-abort case") {
   report::BenchReport rep;
-  // Table (a) follows --substrate; table (b) is pinned to the simulator.
-  rep.substrate = opt.use_sim ? "sim" : "mixed";
+  // Table (a) follows --substrate; table (b) is pinned to the simulator, so
+  // the report-level stamp derives from the shared naming: the simulator's
+  // own name when the substrates coincide, the mixed marker otherwise.
+  rep.substrate = opt.substrate == SubstrateTraits<HtmSim>::kKind
+                      ? SubstrateTraits<HtmSim>::kName
+                      : kMixedSubstrateName;
   rep.set_meta("workload", "constant_rbtree/100000 + oversized-tx counter array");
   rep.set_meta("note",
                "capacity table: NOrec's abort ratio spikes (global seqlock), PhasedTM pins "
                "to TL2 (one oversized tx drags all threads to software), RH1 pays only "
                "per-transaction fallback costs");
-  if (opt.use_sim) {
-    run_no_pressure<HtmSim>(opt, rep);
-  } else {
-    run_no_pressure<HtmEmul>(opt, rep);
-  }
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_no_pressure<H>(opt, rep); });
   run_capacity_pressure_table(opt, rep);
   return rep;
 }

@@ -45,11 +45,7 @@ RHTM_SCENARIO(fig1_rbtree, "Fig. 1",
   rep.substrate = opt.substrate_name();
   rep.set_meta("workload", "constant_rbtree/100000");
   rep.set_meta("write_percent", "20");
-  if (opt.use_sim) {
-    run_fig1<HtmSim>(opt, rep);
-  } else {
-    run_fig1<HtmEmul>(opt, rep);
-  }
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_fig1<H>(opt, rep); });
   return rep;
 }
 

@@ -166,11 +166,7 @@ RHTM_SCENARIO(fig2_breakdown, "Fig. 2 (mid+bot)",
   rep.substrate = opt.substrate_name();
   rep.set_meta("workload", "constant_rbtree/100000");
   rep.set_meta("write_percents", "20,80");
-  if (opt.use_sim) {
-    run_fig2_breakdown<HtmSim>(opt, rep);
-  } else {
-    run_fig2_breakdown<HtmEmul>(opt, rep);
-  }
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_fig2_breakdown<H>(opt, rep); });
   return rep;
 }
 

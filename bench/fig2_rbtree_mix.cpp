@@ -53,11 +53,7 @@ RHTM_SCENARIO(fig2_rbtree_mix, "Fig. 2 (top)",
   rep.substrate = opt.substrate_name();
   rep.set_meta("workload", "constant_rbtree/100000");
   rep.set_meta("write_percents", "20,80");
-  if (opt.use_sim) {
-    run_fig2<HtmSim>(opt, rep);
-  } else {
-    run_fig2<HtmEmul>(opt, rep);
-  }
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_fig2<H>(opt, rep); });
   return rep;
 }
 

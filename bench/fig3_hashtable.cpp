@@ -48,11 +48,7 @@ RHTM_SCENARIO(fig3_hashtable, "Fig. 3 (left)",
   report::BenchReport rep;
   rep.substrate = opt.substrate_name();
   rep.set_meta("write_percent", "20");
-  if (opt.use_sim) {
-    run_fig3_hash<HtmSim>(opt, rep);
-  } else {
-    run_fig3_hash<HtmEmul>(opt, rep);
-  }
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_fig3_hash<H>(opt, rep); });
   return rep;
 }
 

@@ -61,11 +61,7 @@ RHTM_SCENARIO(fig3_randomarray, "Fig. 3 (right)",
   report::BenchReport rep;
   rep.substrate = opt.substrate_name();
   rep.set_meta("workload", "random_array/131072");
-  if (opt.use_sim) {
-    run_fig3_array<HtmSim>(opt, rep);
-  } else {
-    run_fig3_array<HtmEmul>(opt, rep);
-  }
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_fig3_array<H>(opt, rep); });
   return rep;
 }
 

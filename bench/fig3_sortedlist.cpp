@@ -48,11 +48,7 @@ RHTM_SCENARIO(fig3_sortedlist, "Fig. 3 (middle)",
   rep.substrate = opt.substrate_name();
   rep.set_meta("workload", "constant_sortedlist/1000");
   rep.set_meta("write_percent", "5");
-  if (opt.use_sim) {
-    run_fig3_list<HtmSim>(opt, rep);
-  } else {
-    run_fig3_list<HtmEmul>(opt, rep);
-  }
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_fig3_list<H>(opt, rep); });
   return rep;
 }
 

@@ -72,7 +72,7 @@ void protocol_row(const Options& opt, report::TableData& table, const char* name
 RHTM_SCENARIO(micro_barriers, "—",
               "per-access barrier cost of each protocol's fast path (emul)") {
   report::BenchReport rep;
-  rep.substrate = "emul";
+  rep.substrate = SubstrateTraits<HtmEmul>::kName;
   rep.set_meta("accesses_per_tx", std::to_string(kAccesses));
   report::TableData& table =
       rep.add_table("Microbench - per-access barrier cost of each protocol's fast path (emul)",

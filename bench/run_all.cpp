@@ -46,6 +46,11 @@ int registry_main(int argc, char** argv) {
     return 0;
   }
 
+  // One upfront diagnostic for a substrate this host cannot run (the
+  // per-scenario dispatch would catch it too, but only mid-run). --list
+  // stays usable everywhere: it never instantiates a substrate.
+  require_substrate_available(opt);
+
   std::vector<const Scenario*> selected;
   for (const Scenario& s : scenarios) {
     if (name_matches(opt, s.name)) selected.push_back(&s);

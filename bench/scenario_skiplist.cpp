@@ -48,11 +48,7 @@ RHTM_SCENARIO(skiplist, "extension",
   const std::size_t nodes = opt.full ? 256 * 1024 : 32 * 1024;
   rep.set_meta("workload", "constant_skiplist/" + std::to_string(nodes));
   rep.set_meta("write_percent", "20");
-  if (opt.use_sim) {
-    run_skiplist<HtmSim>(opt, rep, nodes);
-  } else {
-    run_skiplist<HtmEmul>(opt, rep, nodes);
-  }
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_skiplist<H>(opt, rep, nodes); });
   return rep;
 }
 

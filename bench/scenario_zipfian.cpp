@@ -64,11 +64,7 @@ RHTM_SCENARIO(zipfian_mix, "extension",
   rep.set_meta("workload", "random_array/131072 zipfian");
   rep.set_meta("tx_len", std::to_string(kTxLen));
   rep.set_meta("write_percent", std::to_string(kWritePercent));
-  if (opt.use_sim) {
-    run_zipfian<HtmSim>(opt, rep);
-  } else {
-    run_zipfian<HtmEmul>(opt, rep);
-  }
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_zipfian<H>(opt, rep); });
   return rep;
 }
 

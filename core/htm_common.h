@@ -5,14 +5,61 @@
 // capacity accounting.
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "core/cell.h"
 #include "core/stats.h"
 
 namespace rhtm {
+
+/// The substrate axis: which best-effort HTM implementation backs a
+/// TmUniverse. Protocols are templated over the substrate type and never
+/// name a concrete kind; generic code (bench dispatch, report stamping,
+/// substrate-parametrized tests) names substrates exclusively through this
+/// enum and the SubstrateTraits below.
+enum class SubstrateKind : std::uint8_t {
+  kEmul,  ///< plain-access emulation (core/htm_emul.h)
+  kSim,   ///< software-simulated HTM with real conflicts (core/htm_sim.h)
+  kRtm,   ///< real hardware transactions over Intel RTM (core/htm_rtm.h)
+};
+
+/// Canonical substrate names: the --substrate= flag values and the JSON
+/// reports' `substrate` field. Single source of truth for both.
+[[nodiscard]] constexpr const char* to_string(SubstrateKind k) {
+  switch (k) {
+    case SubstrateKind::kEmul: return "emul";
+    case SubstrateKind::kSim: return "sim";
+    case SubstrateKind::kRtm: return "rtm";
+  }
+  return "?";
+}
+
+/// JSON `substrate` value for a report whose tables span more than one
+/// substrate (e.g. a table following --substrate next to a pinned-sim one).
+inline constexpr const char* kMixedSubstrateName = "mixed";
+
+/// Parses a canonical substrate name. Returns false on an unknown name.
+[[nodiscard]] inline bool parse_substrate_kind(const char* name, SubstrateKind* out) {
+  for (const SubstrateKind k :
+       {SubstrateKind::kEmul, SubstrateKind::kSim, SubstrateKind::kRtm}) {
+    if (std::strcmp(name, to_string(k)) == 0) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Compile-time substrate metadata, specialized next to each substrate
+/// class. `kAtomic` states whether the substrate gives multi-word commit
+/// atomicity and conflict detection (HtmEmul does not — its concurrent
+/// results are a modelling device, not serializable executions).
+template <class H>
+struct SubstrateTraits;
 
 /// Capacity model for a best-effort hardware transaction. Budgets count
 /// distinct *lines* (addresses >> line_shift); the default line_shift of 3
@@ -122,6 +169,43 @@ class LineSet {
 inline std::uint64_t line_of(const void* addr, unsigned line_shift) {
   return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(addr)) >> line_shift;
 }
+
+/// Publication seqlock shared by the substrates whose software-visible
+/// multi-word publications need torn-read protection: a spinlock
+/// serializing publishers plus an odd/even epoch (odd = a publication is
+/// in flight) that software read barriers bracket their stripe/data/stripe
+/// load sequences with. Substrates that also need the lock for their own
+/// commit protocol (HtmSim) drive the lock and epoch marks separately.
+class PublicationSeqlock {
+ public:
+  /// One atomic batch: serialized against other publishers, epoch-marked
+  /// for software readers. `entries` elements expose `.cell` and `.value`.
+  template <class Entries>
+  void publish(const Entries& entries) {
+    lock();
+    mark_in_flight();
+    for (const auto& e : entries) {
+      e.cell->word.store(e.value, std::memory_order_release);
+    }
+    mark_settled();
+    unlock();
+  }
+
+  [[nodiscard]] TmWord epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  void lock() {
+    while (lock_.exchange(1, std::memory_order_acquire) != 0) cpu_relax();
+  }
+  void unlock() { lock_.store(0, std::memory_order_release); }
+
+  /// Epoch marks for publishers already holding the lock.
+  void mark_in_flight() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+  void mark_settled() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<std::uint32_t> lock_{0};
+  std::atomic<TmWord> epoch_{0};
+};
 
 }  // namespace detail
 

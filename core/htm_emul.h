@@ -90,4 +90,13 @@ class HtmEmul {
   HtmConfig cfg_;
 };
 
+template <>
+struct SubstrateTraits<HtmEmul> {
+  static constexpr SubstrateKind kKind = SubstrateKind::kEmul;
+  static constexpr const char* kName = to_string(kKind);
+  /// No conflict detection, no rollback: concurrent executions are a
+  /// modelling device (aborts are injected), not serializable histories.
+  static constexpr bool kAtomic = false;
+};
+
 }  // namespace rhtm

@@ -178,9 +178,9 @@ class HtmSim {
     return c.word.load(std::memory_order_acquire);
   }
   void nontx_store(TmCell& c, TmWord v) {
-    lock();
+    pub_.lock();
     c.word.store(v, std::memory_order_release);
-    unlock();
+    pub_.unlock();
   }
 
   /// Multi-word software publication (TL2 / slow-slow / NOrec write-back):
@@ -189,53 +189,45 @@ class HtmSim {
   /// marks the publication window on the epoch for software readers.
   template <class Entries>
   void nontx_publish(const Entries& entries) {
-    lock();
-    pub_epoch_.fetch_add(1, std::memory_order_acq_rel);  // odd: in flight
-    for (const auto& e : entries) {
-      e.cell->word.store(e.value, std::memory_order_release);
-    }
-    pub_epoch_.fetch_add(1, std::memory_order_acq_rel);  // even: settled
-    unlock();
+    pub_.publish(entries);
   }
 
-  /// Seqlock over every multi-word publication (hardware commit write-back
-  /// and nontx_publish). Odd = a publication is in flight. Software read
-  /// barriers bracket their stripe/data/stripe load sequence with this to
-  /// rule out torn views of a commit they do not otherwise synchronize with.
-  [[nodiscard]] TmWord publication_epoch() const {
-    return pub_epoch_.load(std::memory_order_acquire);
-  }
+  /// Seqlock epoch over every multi-word publication (hardware commit
+  /// write-back and nontx_publish). Odd = a publication is in flight.
+  /// Software read barriers bracket their stripe/data/stripe load sequence
+  /// with this to rule out torn views of a commit they do not otherwise
+  /// synchronize with.
+  [[nodiscard]] TmWord publication_epoch() const { return pub_.epoch(); }
 
  private:
   HtmOutcome commit(Tx& tx) {
-    lock();
+    pub_.lock();
     for (const auto& [cell, seen] : tx.read_log_) {
       if (cell->word.load(std::memory_order_acquire) != seen) {
-        unlock();
+        pub_.unlock();
         return HtmOutcome{HtmStatus::kConflict};
       }
     }
     if (!tx.writes_.empty()) {
-      pub_epoch_.fetch_add(1, std::memory_order_acq_rel);
+      pub_.mark_in_flight();
       for (const auto& w : tx.writes_) {
         w.cell->word.store(w.value, std::memory_order_release);
       }
-      pub_epoch_.fetch_add(1, std::memory_order_acq_rel);
+      pub_.mark_settled();
     }
-    unlock();
+    pub_.unlock();
     return HtmOutcome{HtmStatus::kCommitted};
   }
 
-  void lock() {
-    while (commit_lock_.exchange(1, std::memory_order_acquire) != 0) {
-      detail::cpu_relax();
-    }
-  }
-  void unlock() { commit_lock_.store(0, std::memory_order_release); }
-
   HtmConfig cfg_;
-  std::atomic<std::uint32_t> commit_lock_{0};
-  std::atomic<TmWord> pub_epoch_{0};
+  detail::PublicationSeqlock pub_;
+};
+
+template <>
+struct SubstrateTraits<HtmSim> {
+  static constexpr SubstrateKind kKind = SubstrateKind::kSim;
+  static constexpr const char* kName = to_string(kKind);
+  static constexpr bool kAtomic = true;  ///< validated commits, real conflicts
 };
 
 }  // namespace rhtm

@@ -1,12 +1,12 @@
 #pragma once
 
-// Umbrella header for the rhtm library: the TM universe, both HTM
+// Umbrella header for the rhtm library: the TM universe, the three HTM
 // substrates, the four paper protocols (HtmOnly, StandardHytm, Tl2,
 // HybridTm/RH1) and the two extension hybrids (HybridNorec, PhasedTm),
 // plus the substrate-bound aliases the benches use.
 //
 // Layering (see docs/ARCHITECTURE.md):
-//   substrate (HtmEmul | HtmSim)
+//   substrate (HtmEmul | HtmSim | HtmRtm)
 //     -> universe (stripes + clock + substrate instance)
 //       -> protocols (this header's classes)
 //         -> STM sets (stm/read_set.h, stm/write_set.h)
@@ -17,6 +17,7 @@
 #include "core/ext_hybrids.h"
 #include "core/htm_emul.h"
 #include "core/htm_only.h"
+#include "core/htm_rtm.h"
 #include "core/htm_sim.h"
 #include "core/rh1.h"
 #include "core/rng.h"
@@ -38,5 +39,10 @@ using SimHtmOnly = HtmOnly<HtmSim>;
 using SimStandardHytm = StandardHytm<HtmSim>;
 using SimTl2 = Tl2<HtmSim>;
 using SimHybridTm = HybridTm<HtmSim>;
+
+using RtmHtmOnly = HtmOnly<HtmRtm>;
+using RtmStandardHytm = StandardHytm<HtmRtm>;
+using RtmTl2 = Tl2<HtmRtm>;
+using RtmHybridTm = HybridTm<HtmRtm>;
 
 }  // namespace rhtm

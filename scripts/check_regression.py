@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Regression gate over two directories of BENCH_<scenario>.json reports.
+
+Compares the *ratio of two series* (default: RH1-Fast / TL2) per
+(scenario, table, x) between a baseline run and a fresh run, and fails when
+the fresh ratio has regressed by more than --threshold (default 25%).
+Ratios between series measured in the same process are robust to runner
+noise where absolute ops/sec are not — both series speed up or slow down
+together on a cold/hot runner, their quotient does not (see
+docs/BENCHMARKS.md, "Diffing two runs").
+
+Usage:
+    check_regression.py OLD_DIR NEW_DIR [--numerator RH1-Fast]
+                        [--denominator TL2] [--threshold 0.25]
+    check_regression.py --self-test
+
+Exit status: 0 = no gated regression (including "nothing comparable", e.g.
+the very first CI run has no baseline artifact); 1 = regression beyond the
+threshold; 2 = usage error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+
+def series_points(table, name):
+    """{x: primary-metric value} for one named series of a table."""
+    for series in table["series"]:
+        if series["name"] == name:
+            out = {}
+            for point in series["points"]:
+                value = point["metrics"].get(table["primary_metric"])
+                if isinstance(value, (int, float)):
+                    out[point["x"]] = float(value)
+            return out
+    return None
+
+
+# The gate's regression test is one-directional (ratio dropped = bad), so it
+# must only look at higher-is-better metrics. Latency tables (micro_barriers'
+# read_ns_per_access, micro_htm's ns_per_call) would have the direction
+# inverted — a cheaper RH1 read would *fail* the gate — so any table whose
+# primary metric is not in this set is skipped.
+GATED_METRICS = {"total_ops", "ops_per_sec"}
+
+
+def ratios(report, numerator, denominator):
+    """[(table-title, x, num/den)] for every x where both series have data,
+    over tables whose primary metric is gateable (higher is better)."""
+    out = []
+    for table in report.get("tables", []):
+        if table.get("primary_metric") not in GATED_METRICS:
+            continue
+        num = series_points(table, numerator)
+        den = series_points(table, denominator)
+        if num is None or den is None:
+            continue
+        for x in sorted(num.keys() & den.keys(), key=str):
+            if den[x] > 0 and num[x] > 0:
+                out.append((table["title"], x, num[x] / den[x]))
+    return out
+
+
+def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout):
+    """Returns (compared, regressions): point counts across all reports."""
+    compared = 0
+    regressions = []
+    for new_path in sorted(glob.glob(os.path.join(new_dir, "BENCH_*.json"))):
+        name = os.path.basename(new_path)
+        old_path = os.path.join(old_dir, name)
+        if not os.path.exists(old_path):
+            print(f"  {name}: no baseline, skipped", file=out)
+            continue
+        with open(old_path) as f:
+            old_report = json.load(f)
+        with open(new_path) as f:
+            new_report = json.load(f)
+        old_ratios = {(t, x): r for t, x, r in ratios(old_report, numerator, denominator)}
+        for title, x, new_ratio in ratios(new_report, numerator, denominator):
+            old_ratio = old_ratios.get((title, x))
+            if old_ratio is None or old_ratio <= 0:
+                continue
+            compared += 1
+            change = new_ratio / old_ratio
+            marker = ""
+            if change < 1.0 - threshold:
+                marker = "  <-- REGRESSION"
+                regressions.append((name, title, x, old_ratio, new_ratio, change))
+            print(
+                f"  {name} | {title} | x={x}: "
+                f"{numerator}/{denominator} {old_ratio:.3f} -> {new_ratio:.3f} "
+                f"({change:.2f}x){marker}",
+                file=out,
+            )
+    return compared, regressions
+
+
+def self_test():
+    def table(rh1, tl2, metric):
+        return {
+            "title": "Figure 1" if metric == "total_ops" else "latency table",
+            "style": "sweep",
+            "x": "threads",
+            "primary_metric": metric,
+            "series": [
+                {
+                    "name": name,
+                    "points": [{"x": t, "metrics": {metric: v * t}} for t in (1, 2, 4)],
+                }
+                for name, v in (("RH1-Fast", rh1), ("TL2", tl2))
+            ],
+        }
+
+    def report(rh1, tl2, ns_rh1=10):
+        return {
+            "schema": "rhtm-bench-report/v1",
+            "scenario": "fig1_rbtree",
+            "substrate": "emul",
+            "tables": [
+                table(rh1, tl2, "total_ops"),
+                # Lower-is-better table: must never be gated, whichever way
+                # its ratio moves.
+                table(ns_rh1, 100, "ns_per_call"),
+            ],
+        }
+
+    def write(dirname, rep):
+        with open(os.path.join(dirname, "BENCH_fig1_rbtree.json"), "w") as f:
+            json.dump(rep, f)
+
+    sink = open(os.devnull, "w")
+    with tempfile.TemporaryDirectory() as tmp:
+        old_dir = os.path.join(tmp, "old")
+        ok_dir = os.path.join(tmp, "ok")
+        bad_dir = os.path.join(tmp, "bad")
+        for d in (old_dir, ok_dir, bad_dir):
+            os.mkdir(d)
+        # Baseline ratio 5.0; "ok" run is globally 3x slower but keeps the
+        # ratio (the robustness the gate relies on); "bad" halves the ratio.
+        # Both runs swing the latency table's ratio wildly in both
+        # directions — it must stay invisible to the gate.
+        write(old_dir, report(rh1=500, tl2=100, ns_rh1=100))
+        write(ok_dir, report(rh1=167, tl2=33, ns_rh1=10))
+        write(bad_dir, report(rh1=250, tl2=100, ns_rh1=1000))
+
+        compared, regressions = compare(old_dir, ok_dir, "RH1-Fast", "TL2", 0.25, sink)
+        assert compared == 3, compared
+        assert not regressions, regressions
+
+        compared, regressions = compare(old_dir, bad_dir, "RH1-Fast", "TL2", 0.25, sink)
+        assert compared == 3, compared
+        assert len(regressions) == 3, regressions
+
+        # A missing baseline file is a skip, not a failure.
+        empty = os.path.join(tmp, "empty")
+        os.mkdir(empty)
+        compared, regressions = compare(empty, ok_dir, "RH1-Fast", "TL2", 0.25, sink)
+        assert compared == 0 and not regressions
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old_dir", nargs="?", help="baseline bench-reports directory")
+    parser.add_argument("new_dir", nargs="?", help="fresh bench-reports directory")
+    parser.add_argument("--numerator", default="RH1-Fast")
+    parser.add_argument("--denominator", default="TL2")
+    parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.old_dir or not args.new_dir:
+        parser.print_usage(sys.stderr)
+        return 2
+    if not os.path.isdir(args.old_dir):
+        # First run ever / expired artifact: nothing to gate against.
+        print(f"no baseline directory '{args.old_dir}'; skipping gate")
+        return 0
+
+    print(
+        f"gating {args.numerator}/{args.denominator} per (scenario, table, x), "
+        f"threshold {args.threshold:.0%}:"
+    )
+    compared, regressions = compare(
+        args.old_dir, args.new_dir, args.numerator, args.denominator, args.threshold
+    )
+    if compared == 0:
+        print("nothing comparable (no overlapping tables/series); not gating")
+        return 0
+    if regressions:
+        print(f"\n{len(regressions)} gated regression(s) of {compared} compared points:")
+        for name, title, x, old_r, new_r, change in regressions:
+            print(f"  {name} | {title} | x={x}: {old_r:.3f} -> {new_r:.3f} ({change:.2f}x)")
+        return 1
+    print(f"no regression beyond threshold across {compared} points")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

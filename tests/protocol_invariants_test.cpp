@@ -1,6 +1,15 @@
-// Cross-protocol serializability smoke tests on the simulated substrate:
-// concurrent bank transfers must conserve the total, and concurrent readers
-// must never observe a torn snapshot — for every protocol the benches run.
+// Cross-protocol serializability smoke tests, parametrized over the
+// substrates that guarantee atomic commits: concurrent bank transfers must
+// conserve the total, and concurrent readers must never observe a torn
+// snapshot — for every protocol the benches run.
+//
+// Substrate coverage: the full suite runs on HtmSim (software-validated
+// commits) and on HtmRtm (real hardware transactions when the host has
+// usable TSX; the software fallback paths otherwise — the invariants must
+// hold either way). HtmEmul is deliberately excluded: it has no conflict
+// detection or rollback (SubstrateTraits<HtmEmul>::kAtomic is false), so
+// concurrent executions on it are a modelling device, not serializable
+// histories; its whole-stack coverage lives in substrate_conformance_test.
 
 #include <atomic>
 #include <thread>
@@ -17,10 +26,9 @@ constexpr TmWord kInitialEach = 100;
 constexpr TmWord kTotal = kAccounts * kInitialEach;
 
 template <class Tm>
-void bank_test(TmUniverse<HtmSim>& u, Tm& tm, unsigned writers) {
+void bank_test(Tm& tm, unsigned writers) {
   std::vector<TVar<TmWord>> accounts(kAccounts);
   for (auto& a : accounts) a.unsafe_write(kInitialEach);
-  (void)u;
 
   std::atomic<bool> stop{false};
   std::atomic<bool> torn{false};
@@ -67,110 +75,141 @@ void bank_test(TmUniverse<HtmSim>& u, Tm& tm, unsigned writers) {
   CHECK_EQ(final_total, kTotal);
 }
 
+template <class H>
 void tl2_bank() {
-  TmUniverse<HtmSim> u;
-  Tl2<HtmSim> tm(u);
-  bank_test(u, tm, 4);
+  TmUniverse<H> u;
+  Tl2<H> tm(u);
+  bank_test(tm, 4);
 }
 
+template <class H>
 void htm_only_bank() {
-  TmUniverse<HtmSim> u;
-  HtmOnly<HtmSim> tm(u);
-  bank_test(u, tm, 4);
+  TmUniverse<H> u;
+  HtmOnly<H> tm(u);
+  bank_test(tm, 4);
 }
 
+template <class H>
 void standard_hytm_bank() {
-  TmUniverse<HtmSim> u;
-  StandardHytm<HtmSim> tm(u);  // with software fallback enabled
-  bank_test(u, tm, 4);
+  TmUniverse<H> u;
+  StandardHytm<H> tm(u);  // with software fallback enabled
+  bank_test(tm, 4);
 }
 
+template <class H>
 void rh1_fast_bank() {
-  TmUniverse<HtmSim> u;
-  HybridTm<HtmSim>::Config cfg;
+  TmUniverse<H> u;
+  typename HybridTm<H>::Config cfg;
   cfg.slow_retry_percent = 0;
-  HybridTm<HtmSim> tm(u, cfg);
-  bank_test(u, tm, 4);
+  HybridTm<H> tm(u, cfg);
+  bank_test(tm, 4);
 }
 
+template <class H>
 void rh1_mixed_bank() {
-  TmUniverse<HtmSim> u;
-  HybridTm<HtmSim>::Config cfg;
+  TmUniverse<H> u;
+  typename HybridTm<H>::Config cfg;
   cfg.slow_retry_percent = 100;
   cfg.inject_abort_bp = 2000;  // force plenty of slow-path traffic
-  HybridTm<HtmSim> tm(u, cfg);
-  bank_test(u, tm, 4);
+  HybridTm<H> tm(u, cfg);
+  bank_test(tm, 4);
 }
 
+template <class H>
 void rh1_forced_slow_bank() {
-  TmUniverse<HtmSim> u;
-  HybridTm<HtmSim>::Config cfg;
+  TmUniverse<H> u;
+  typename HybridTm<H>::Config cfg;
   cfg.force_slow_path = true;
-  HybridTm<HtmSim> tm(u, cfg);
-  bank_test(u, tm, 4);
+  HybridTm<H> tm(u, cfg);
+  bank_test(tm, 4);
 }
 
+template <class H>
 void rh2_forced_bank() {
-  TmUniverse<HtmSim> u;
-  HybridTm<HtmSim>::Config cfg;
+  TmUniverse<H> u;
+  typename HybridTm<H>::Config cfg;
   cfg.force_rh2 = true;
-  HybridTm<HtmSim> tm(u, cfg);
-  bank_test(u, tm, 4);
+  HybridTm<H> tm(u, cfg);
+  bank_test(tm, 4);
 }
 
+template <class H>
 void rh1_adaptive_bank() {
-  TmUniverse<HtmSim> u;
-  HybridTm<HtmSim>::Config cfg;
-  cfg.retry_policy = HybridTm<HtmSim>::RetryPolicy::kAdaptive;
+  TmUniverse<H> u;
+  typename HybridTm<H>::Config cfg;
+  cfg.retry_policy = HybridTm<H>::RetryPolicy::kAdaptive;
   cfg.inject_abort_bp = 5000;
-  HybridTm<HtmSim> tm(u, cfg);
-  bank_test(u, tm, 4);
+  HybridTm<H> tm(u, cfg);
+  bank_test(tm, 4);
 }
 
+template <class H>
 void hybrid_norec_bank() {
-  TmUniverse<HtmSim> u;
-  HybridNorec<HtmSim>::Config cfg;
+  TmUniverse<H> u;
+  typename HybridNorec<H>::Config cfg;
   cfg.inject_abort_bp = 2000;  // push traffic onto the software path too
-  HybridNorec<HtmSim> tm(u, cfg);
-  bank_test(u, tm, 4);
+  HybridNorec<H> tm(u, cfg);
+  bank_test(tm, 4);
 }
 
+template <class H>
 void phased_bank() {
-  TmUniverse<HtmSim> u;
-  PhasedTm<HtmSim>::Config cfg;
+  TmUniverse<H> u;
+  typename PhasedTm<H>::Config cfg;
   cfg.inject_abort_bp = 2000;  // force phase transitions
-  PhasedTm<HtmSim> tm(u, cfg);
-  bank_test(u, tm, 4);
+  PhasedTm<H> tm(u, cfg);
+  bank_test(tm, 4);
   CHECK_EQ(tm.software_pending(), 0u);  // phases drained
 }
 
+template <class H>
 void gv6_mixed_bank() {
   UniverseConfig ucfg;
   ucfg.gv_mode = GvMode::kGv6;
-  TmUniverse<HtmSim> u(ucfg);
-  HybridTm<HtmSim>::Config cfg;
+  TmUniverse<H> u(ucfg);
+  typename HybridTm<H>::Config cfg;
   cfg.slow_retry_percent = 100;
   cfg.inject_abort_bp = 2000;
-  HybridTm<HtmSim> tm(u, cfg);
-  bank_test(u, tm, 4);
+  HybridTm<H> tm(u, cfg);
+  bank_test(tm, 4);
+}
+
+/// The rtm leg announces whether it exercised real hardware transactions or
+/// the graceful software fallback — both must satisfy the invariants.
+void rtm_banner() {
+  std::printf("    rtm substrate: available=%d hardware_viable=%d (%s)\n",
+              HtmRtm::available() ? 1 : 0, HtmRtm::hardware_viable() ? 1 : 0,
+              HtmRtm::hardware_viable() ? "real hardware transactions"
+                                        : "software fallback paths");
 }
 
 }  // namespace
 }  // namespace rhtm
 
 int main() {
+  using rhtm::HtmRtm;
+  using rhtm::HtmSim;
   using rhtm::test::TestCase;
   return rhtm::test::run_tests({
-      TestCase{"tl2_bank", rhtm::tl2_bank},
-      TestCase{"htm_only_bank", rhtm::htm_only_bank},
-      TestCase{"standard_hytm_bank", rhtm::standard_hytm_bank},
-      TestCase{"rh1_fast_bank", rhtm::rh1_fast_bank},
-      TestCase{"rh1_mixed_bank", rhtm::rh1_mixed_bank},
-      TestCase{"rh1_forced_slow_bank", rhtm::rh1_forced_slow_bank},
-      TestCase{"rh2_forced_bank", rhtm::rh2_forced_bank},
-      TestCase{"rh1_adaptive_bank", rhtm::rh1_adaptive_bank},
-      TestCase{"hybrid_norec_bank", rhtm::hybrid_norec_bank},
-      TestCase{"phased_bank", rhtm::phased_bank},
-      TestCase{"gv6_mixed_bank", rhtm::gv6_mixed_bank},
+      TestCase{"tl2_bank", rhtm::tl2_bank<HtmSim>},
+      TestCase{"htm_only_bank", rhtm::htm_only_bank<HtmSim>},
+      TestCase{"standard_hytm_bank", rhtm::standard_hytm_bank<HtmSim>},
+      TestCase{"rh1_fast_bank", rhtm::rh1_fast_bank<HtmSim>},
+      TestCase{"rh1_mixed_bank", rhtm::rh1_mixed_bank<HtmSim>},
+      TestCase{"rh1_forced_slow_bank", rhtm::rh1_forced_slow_bank<HtmSim>},
+      TestCase{"rh2_forced_bank", rhtm::rh2_forced_bank<HtmSim>},
+      TestCase{"rh1_adaptive_bank", rhtm::rh1_adaptive_bank<HtmSim>},
+      TestCase{"hybrid_norec_bank", rhtm::hybrid_norec_bank<HtmSim>},
+      TestCase{"phased_bank", rhtm::phased_bank<HtmSim>},
+      TestCase{"gv6_mixed_bank", rhtm::gv6_mixed_bank<HtmSim>},
+      TestCase{"rtm_banner", rhtm::rtm_banner},
+      TestCase{"rtm_tl2_bank", rhtm::tl2_bank<HtmRtm>},
+      TestCase{"rtm_htm_only_bank", rhtm::htm_only_bank<HtmRtm>},
+      TestCase{"rtm_standard_hytm_bank", rhtm::standard_hytm_bank<HtmRtm>},
+      TestCase{"rtm_rh1_fast_bank", rhtm::rh1_fast_bank<HtmRtm>},
+      TestCase{"rtm_rh1_mixed_bank", rhtm::rh1_mixed_bank<HtmRtm>},
+      TestCase{"rtm_rh2_forced_bank", rhtm::rh2_forced_bank<HtmRtm>},
+      TestCase{"rtm_hybrid_norec_bank", rhtm::hybrid_norec_bank<HtmRtm>},
+      TestCase{"rtm_phased_bank", rhtm::phased_bank<HtmRtm>},
   });
 }

@@ -19,7 +19,7 @@ bench::Options tiny_options() {
   opt.seconds = 0.002;
   opt.calib_seconds = 0.002;
   opt.threads = {1, 2};
-  opt.use_sim = true;  // HtmSim: real conflict/capacity semantics
+  opt.substrate = SubstrateKind::kSim;  // HtmSim: real conflict/capacity semantics
   opt.write_json = false;
   return opt;
 }

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Graceful-fallback smoke for the rtm substrate: runs one scenario under
+# --substrate=rtm. Pass criteria: either the host can run it (exit 0) or the
+# driver refuses with the diagnostic (exit 2 mentioning rtm). Anything else
+# — especially death by signal (SIGILL) — fails the test.
+bin="$1"
+out=$("$bin" --substrate=rtm --scenario=fig1_rbtree --seconds=0.01 --threads=1,2 --no-json 2>&1)
+status=$?
+case $status in
+  0) exit 0 ;;
+  2) echo "$out" | grep -q "substrate=rtm" && exit 0 ;;
+esac
+echo "unexpected exit status $status"
+echo "$out"
+exit 1
