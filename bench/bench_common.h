@@ -11,6 +11,7 @@
 //   --seconds=<double>      per measurement point            (default 0.08)
 //   --threads=<a,b,c>       thread counts                    (default 1,2,4,...,20)
 //   --substrate=emul|sim|rtm  HTM substrate                  (default emul)
+//   --pin=none|compact|scatter  worker-thread affinity       (default none)
 //   --full                  paper-scale sizes + longer runs
 //   --list                  enumerate registered scenarios and exit
 //   --scenario=<a,b>        run only scenarios whose name contains a token
@@ -45,6 +46,7 @@ struct Options {
   double calib_seconds = 0.06;
   std::vector<unsigned> threads = {1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
   SubstrateKind substrate = SubstrateKind::kEmul;
+  PinMode pin = PinMode::kNone;
   bool full = false;
 
   // Registry-driver flags (bench/run_all.cpp).
@@ -55,7 +57,8 @@ struct Options {
 
   static void usage(const char* argv0, std::FILE* out) {
     std::fprintf(out,
-                 "usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim|rtm] [--full]\n"
+                 "usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim|rtm]\n"
+                 "          [--pin=none|compact|scatter] [--full]\n"
                  "          [--list] [--scenario=a,b] [--json-dir=DIR] [--no-json]\n"
                  "\n"
                  "  --seconds=S          measurement time per (series, thread-count) point\n"
@@ -63,6 +66,9 @@ struct Options {
                  "  --substrate=emul|sim|rtm\n"
                  "                       HTM substrate (plain-access emulation | simulator |\n"
                  "                       real Intel RTM; rtm needs an -mrtm build + TSX host)\n"
+                 "  --pin=none|compact|scatter\n"
+                 "                       worker-thread affinity (compact fills adjacent CPUs,\n"
+                 "                       scatter alternates across the CPU id halves)\n"
                  "  --full               paper-scale sizes and 1 s points\n"
                  "  --list               list registered scenarios and exit\n"
                  "  --scenario=a,b       run only scenarios whose name contains a token\n"
@@ -112,6 +118,10 @@ struct Options {
                        "reconfigure with -DRHTM_ENABLE_RTM=ON (adds -mrtm)\n",
                        argv[0], to_string(opt.substrate));
           std::exit(2);
+        }
+      } else if (arg.rfind("--pin=", 0) == 0) {
+        if (!parse_pin_mode(arg.c_str() + 6, &opt.pin)) {
+          die("unknown pin mode in", arg);
         }
       } else if (arg == "--full") {
         opt.full = true;
@@ -260,31 +270,35 @@ enum class Series {
   return "?";
 }
 
-/// Runs one series point: constructs the protocol over `universe` with the
-/// paper's configuration for that series and drives `op` on `threads`
-/// threads for `seconds`. `inject_bp` is the TL2-calibrated abort ratio.
-///
-/// `op(tm, ctx, rng, tid)` must execute exactly one transaction.
-template <class H, class OpFactory>
-ThroughputResult run_series_point(TmUniverse<H>& universe, Series series, unsigned threads,
-                                  double seconds, std::uint32_t inject_bp, OpFactory&& op) {
+/// Every protocol series — for scenarios that sweep the whole matrix (the
+/// dynamic workloads run every protocol by design).
+[[nodiscard]] inline std::vector<Series> all_series() {
+  return {Series::kHtm,      Series::kStdHytm,    Series::kTl2,
+          Series::kRh1Fast,  Series::kRh1Mix10,   Series::kRh1Mix100,
+          Series::kHybridNorec, Series::kPhasedTm};
+}
+
+/// Constructs the protocol instance a series names — over `universe`, with
+/// the paper's configuration for that series and `inject_bp` injection —
+/// and invokes `fn(tm)` on it. The single source of series -> protocol
+/// wiring, shared by the throughput driver below and by scenarios that
+/// drive a series through a different loop (scenario_phased's run_phased).
+template <class H, class Fn>
+decltype(auto) with_series_tm(TmUniverse<H>& universe, Series series,
+                              std::uint32_t inject_bp, Fn&& fn) {
   switch (series) {
     case Series::kHtm: {
       typename HtmOnly<H>::Config cfg;
       cfg.inject_abort_bp = inject_bp;
       HtmOnly<H> tm(universe, cfg);
-      return run_throughput(tm, threads, seconds, op);
+      return fn(tm);
     }
     case Series::kStdHytm: {
       typename StandardHytm<H>::Config cfg;
       cfg.hardware_only = true;  // the paper's best-case Standard HyTM
       cfg.inject_abort_bp = inject_bp;
       StandardHytm<H> tm(universe, cfg);
-      return run_throughput(tm, threads, seconds, op);
-    }
-    case Series::kTl2: {
-      Tl2<H> tm(universe);
-      return run_throughput(tm, threads, seconds, op);
+      return fn(tm);
     }
     case Series::kRh1Fast:
     case Series::kRh1Mix10:
@@ -294,22 +308,38 @@ ThroughputResult run_series_point(TmUniverse<H>& universe, Series series, unsign
       cfg.slow_retry_percent =
           series == Series::kRh1Fast ? 0 : (series == Series::kRh1Mix10 ? 10 : 100);
       HybridTm<H> tm(universe, cfg);
-      return run_throughput(tm, threads, seconds, op);
+      return fn(tm);
     }
     case Series::kHybridNorec: {
       typename HybridNorec<H>::Config cfg;
       cfg.inject_abort_bp = inject_bp;
       HybridNorec<H> tm(universe, cfg);
-      return run_throughput(tm, threads, seconds, op);
+      return fn(tm);
     }
     case Series::kPhasedTm: {
       typename PhasedTm<H>::Config cfg;
       cfg.inject_abort_bp = inject_bp;
       PhasedTm<H> tm(universe, cfg);
-      return run_throughput(tm, threads, seconds, op);
+      return fn(tm);
     }
+    case Series::kTl2: break;
   }
-  return {};
+  Tl2<H> tm(universe);
+  return fn(tm);
+}
+
+/// Runs one series point: constructs the protocol over `universe` with the
+/// paper's configuration for that series and drives `op` on `threads`
+/// threads for `seconds`. `inject_bp` is the TL2-calibrated abort ratio.
+///
+/// `op(tm, ctx, rng, tid)` must execute exactly one transaction.
+template <class H, class OpFactory>
+ThroughputResult run_series_point(TmUniverse<H>& universe, Series series, unsigned threads,
+                                  double seconds, std::uint32_t inject_bp, OpFactory&& op,
+                                  PinMode pin = PinMode::kNone) {
+  return with_series_tm(universe, series, inject_bp, [&](auto& tm) {
+    return run_throughput(tm, threads, seconds, op, pin);
+  });
 }
 
 /// Paper §3.1 calibration: TL2 abort ratio for this workload at this thread
@@ -318,9 +348,10 @@ template <class H, class OpFactory>
 [[nodiscard]] std::pair<std::uint32_t, ThroughputResult> calibrate_tl2(TmUniverse<H>& universe,
                                                                        unsigned threads,
                                                                        double seconds,
-                                                                       OpFactory&& op) {
+                                                                       OpFactory&& op,
+                                                                       PinMode pin = PinMode::kNone) {
   Tl2<H> tl2(universe);
-  ThroughputResult r = run_throughput(tl2, threads, seconds, op);
+  ThroughputResult r = run_throughput(tl2, threads, seconds, op, pin);
   return {AbortInjector::from_ratio(r.abort_ratio()).rate_bp(), std::move(r)};
 }
 
@@ -331,23 +362,29 @@ template <class H, class OpFactory>
 /// `inject = false` keeps the TL2 run as that series' point but passes zero
 /// injection to the hardware-mode series — for scenarios whose design is
 /// explicitly "no software pressure" (ext_hybrids table a).
+/// `series_suffix` is appended to every series name, so a scenario can run
+/// the same protocol sweep over two structures into one table
+/// (scenario_mutating_tree's constant-vs-mutating headline comparison).
 template <class H, class OpFactory>
 void run_figure(TmUniverse<H>& universe, report::TableData& table,
                 const std::vector<Series>& series_list, const Options& opt, OpFactory&& op,
-                bool inject = true) {
-  for (const Series s : series_list) table.add_series(to_string(s));
+                bool inject = true, const char* series_suffix = "") {
+  const std::size_t first = table.series.size();
+  for (const Series s : series_list) {
+    table.add_series(std::string(to_string(s)) + series_suffix);
+  }
   for (const unsigned threads : opt.threads) {
     const auto [calibrated_bp, tl2_result] =
-        calibrate_tl2(universe, threads, opt.calib_seconds, op);
+        calibrate_tl2(universe, threads, opt.calib_seconds, op, opt.pin);
     const std::uint32_t inject_bp = inject ? calibrated_bp : 0;
     for (std::size_t i = 0; i < series_list.size(); ++i) {
-      report::Point& p = table.series[i].add_point(threads);
+      report::Point& p = table.series[first + i].add_point(threads);
       if (series_list[i] == Series::kTl2) {
         fill_point(p, tl2_result);
         continue;
       }
       fill_point(p, run_series_point(universe, series_list[i], threads, opt.seconds,
-                                     inject_bp, op));
+                                     inject_bp, op, opt.pin));
     }
   }
 }

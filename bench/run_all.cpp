@@ -76,6 +76,7 @@ int registry_main(int argc, char** argv) {
     report::BenchReport rep = s->run(opt);
     rep.scenario = s->name;
     rep.seconds = opt.seconds;
+    rep.set_meta("pin", to_string(opt.pin));  // affinity is part of a run's geometry
     rep.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     rep.print();

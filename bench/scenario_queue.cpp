@@ -1,0 +1,109 @@
+// Dynamic-workload scenario — transactional MPMC producer/consumer queue,
+// every protocol. Unlike the search structures, the queue's transactions
+// are tiny (3 TVars) but inherently serializing: every enqueuer conflicts
+// on the tail cursor, every dequeuer on the head cursor. Two tables:
+//
+//  1. Thread sweep at a 1:1 producer:consumer split (the first half of
+//     the tids produce, the rest consume).
+//  2. Producer-share sweep (25% / 50% / 75% producers) at the largest
+//     requested thread count — the configurable-ratio axis: a 75% share
+//     keeps the queue near full (enqueues degrade to committed no-ops), a
+//     25% share keeps it near empty.
+
+#include <algorithm>
+
+#include "registry.h"
+#include "workloads/txn_queue.h"
+
+namespace rhtm::bench {
+namespace {
+
+/// `producers` of the `threads` workers enqueue, the rest dequeue. A
+/// single-threaded run alternates roles by coin flip (an MPMC queue needs
+/// both sides to make progress).
+auto queue_op(const TxnQueue& queue, unsigned threads, unsigned producers) {
+  return [&queue, threads, producers](auto& tm, auto& ctx, Xoshiro256& rng, unsigned tid) {
+    const bool produce = threads == 1 ? rng.percent_chance(50) : tid < producers;
+    if (produce) {
+      const TmWord v = rng.next_u64();
+      tm.atomically(ctx, [&](auto& tx) { (void)queue.enqueue(tx, v); });
+    } else {
+      TmWord sink = 0;
+      tm.atomically(ctx, [&](auto& tx) { (void)queue.dequeue(tx, &sink); });
+      do_not_optimize(sink);
+    }
+  };
+}
+
+[[nodiscard]] unsigned producer_count(unsigned threads, unsigned share_percent) {
+  if (threads <= 1) return 1;
+  const unsigned p = threads * share_percent / 100;
+  return std::clamp(p, 1u, threads - 1);  // both sides always represented
+}
+
+template <class H>
+void run_queue(const Options& opt, report::BenchReport& rep, std::size_t capacity) {
+  TxnQueue queue(capacity);
+  TmUniverse<H> universe;
+
+  // One measurement point shared by both tables' loops: every series (the
+  // TL2 calibration run included) starts from a half-full queue — no
+  // series inherits the occupancy the previous one drained or pegged —
+  // and each row's `queue_size_after` is the occupancy that series' own
+  // run ended with.
+  const auto add_point = [&](report::TableData& table, double x, unsigned threads,
+                             unsigned share) {
+    auto op = queue_op(queue, threads, producer_count(threads, share));
+    queue.unsafe_reset(capacity / 2);
+    const auto [inject_bp, tl2_result] =
+        calibrate_tl2(universe, threads, opt.calib_seconds, op, opt.pin);
+    const auto tl2_size = static_cast<double>(queue.unsafe_size());
+    std::size_t i = 0;
+    for (const Series s : all_series()) {
+      report::Point& p = table.series[i++].add_point(x);
+      if (s == Series::kTl2) {
+        fill_point(p, tl2_result);
+        p.set("queue_size_after", tl2_size);
+        continue;
+      }
+      queue.unsafe_reset(capacity / 2);
+      fill_point(p,
+                 run_series_point(universe, s, threads, opt.seconds, inject_bp, op, opt.pin));
+      p.set("queue_size_after", static_cast<double>(queue.unsafe_size()));
+    }
+  };
+
+  {
+    report::TableData& table = rep.add_table(
+        "MPMC transactional queue, capacity " + std::to_string(capacity) +
+        ", 1:1 producers:consumers, all protocols (substrate=" +
+        std::string(opt.substrate_name()) + ")");
+    for (const Series s : all_series()) table.add_series(to_string(s));
+    for (const unsigned threads : opt.threads) add_point(table, threads, threads, 50);
+  }
+  {
+    const unsigned threads = *std::max_element(opt.threads.begin(), opt.threads.end());
+    report::TableData& table = rep.add_table(
+        "MPMC queue producer share sweep at " + std::to_string(threads) +
+        " threads (x = % of workers producing)",
+        report::TableStyle::kSweep, "producer_percent");
+    for (const Series s : all_series()) table.add_series(to_string(s));
+    for (const unsigned share : {25u, 50u, 75u}) add_point(table, share, threads, share);
+  }
+}
+
+}  // namespace
+
+RHTM_SCENARIO(queue, "extension",
+              "Transactional MPMC producer/consumer queue, every protocol, "
+              "1:1 + producer-share sweeps") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  const std::size_t capacity = opt.full ? 65536 : 4096;
+  rep.set_meta("workload", "txn_queue/capacity=" + std::to_string(capacity));
+  rep.set_meta("producer_shares", "25,50,75");
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_queue<H>(opt, rep, capacity); });
+  return rep;
+}
+
+}  // namespace rhtm::bench

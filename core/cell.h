@@ -70,4 +70,14 @@ class TVar {
   mutable TmCell cell_;
 };
 
+/// A protocol-handle-shaped wrapper over the unsafe accessors: lets
+/// templated transactional algorithms (tree descent, queue ops, invariant
+/// walks) run outside any transaction — for single-threaded initialization
+/// and quiescent validation in tests. Never use it while other threads run
+/// transactions over the same cells.
+struct UnsafeHandle {
+  TmWord load(const TmCell& c) { return c.unsafe_load(); }
+  void store(TmCell& c, TmWord v) { c.unsafe_store(v); }
+};
+
 }  // namespace rhtm

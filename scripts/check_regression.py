@@ -65,20 +65,50 @@ def ratios(report, numerator, denominator):
     return out
 
 
+def gateable_titles(report):
+    """Titles of the tables the gate would look at (higher-is-better metric)."""
+    return {
+        t["title"]
+        for t in report.get("tables", [])
+        if t.get("primary_metric") in GATED_METRICS
+    }
+
+
 def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout):
-    """Returns (compared, regressions): point counts across all reports."""
+    """Returns (compared, regressions): point counts across all reports.
+
+    Reports or gateable tables present in only one of {baseline, current}
+    are surfaced as explicit "new"/"removed" info lines — a new scenario is
+    visibly ungated until its first baseline lands, it never silently
+    dodges the gate; a vanished one is visible too.
+    """
     compared = 0
     regressions = []
-    for new_path in sorted(glob.glob(os.path.join(new_dir, "BENCH_*.json"))):
-        name = os.path.basename(new_path)
+    new_names = {
+        os.path.basename(p) for p in glob.glob(os.path.join(new_dir, "BENCH_*.json"))
+    }
+    old_names = {
+        os.path.basename(p) for p in glob.glob(os.path.join(old_dir, "BENCH_*.json"))
+    }
+    for name in sorted(old_names - new_names):
+        print(f"  {name}: removed (present in baseline only, nothing to gate)", file=out)
+    for name in sorted(new_names):
+        new_path = os.path.join(new_dir, name)
         old_path = os.path.join(old_dir, name)
         if not os.path.exists(old_path):
-            print(f"  {name}: no baseline, skipped", file=out)
+            print(f"  {name}: new report (no baseline yet, ungated this run)", file=out)
             continue
         with open(old_path) as f:
             old_report = json.load(f)
         with open(new_path) as f:
             new_report = json.load(f)
+        old_titles = gateable_titles(old_report)
+        new_titles = gateable_titles(new_report)
+        for title in sorted(new_titles - old_titles):
+            print(f"  {name} | {title}: new table (no baseline yet, ungated this run)",
+                  file=out)
+        for title in sorted(old_titles - new_titles):
+            print(f"  {name} | {title}: table removed (present in baseline only)", file=out)
         old_ratios = {(t, x): r for t, x, r in ratios(old_report, numerator, denominator)}
         for title, x, new_ratio in ratios(new_report, numerator, denominator):
             old_ratio = old_ratios.get((title, x))
@@ -160,6 +190,35 @@ def self_test():
         os.mkdir(empty)
         compared, regressions = compare(empty, ok_dir, "RH1-Fast", "TL2", 0.25, sink)
         assert compared == 0 and not regressions
+
+        # New / removed reports and tables must surface as info lines (and
+        # never as regressions): a scenario present only in the current run
+        # is visibly ungated, one present only in the baseline is visibly
+        # gone.
+        import io
+
+        with open(os.path.join(old_dir, "BENCH_gone_scenario.json"), "w") as f:
+            json.dump(report(rh1=500, tl2=100), f)
+        with open(os.path.join(ok_dir, "BENCH_fresh_scenario.json"), "w") as f:
+            json.dump(report(rh1=500, tl2=100), f)
+        ok_grown = report(rh1=167, tl2=33)
+        ok_grown["tables"].append(table(500, 100, "ops_per_sec"))
+        ok_grown["tables"][-1]["title"] = "brand-new table"
+        write(ok_dir, ok_grown)
+        old_grown = report(rh1=500, tl2=100)
+        old_grown["tables"].append(table(500, 100, "ops_per_sec"))
+        old_grown["tables"][-1]["title"] = "retired table"
+        write(old_dir, old_grown)
+
+        log = io.StringIO()
+        compared, regressions = compare(old_dir, ok_dir, "RH1-Fast", "TL2", 0.25, log)
+        assert compared == 3, compared
+        assert not regressions, regressions
+        text = log.getvalue()
+        assert "BENCH_gone_scenario.json: removed" in text, text
+        assert "BENCH_fresh_scenario.json: new report" in text, text
+        assert "brand-new table: new table" in text, text
+        assert "retired table: table removed" in text, text
     print("self-test passed")
     return 0
 

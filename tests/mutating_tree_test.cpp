@@ -1,0 +1,262 @@
+// MutatingRbTree invariants: the tree must remain a valid red-black tree
+// (BST order, parent links, no red-red edge, uniform black height) AND
+// conserve its node pool (live + free == capacity, size counter exact)
+// under transactional mutation — sequentially against a std::set oracle
+// for every protocol, and under concurrent insert/erase/lookup churn.
+//
+// Substrate coverage mirrors protocol_invariants_test: the concurrent legs
+// run on HtmSim (software-validated commits) and on HtmRtm when the host
+// has usable TSX (the software fallbacks otherwise — the invariants must
+// hold either way). HtmEmul is excluded from the *concurrent* legs by
+// design: it has no conflict detection or rollback
+// (SubstrateTraits<HtmEmul>::kAtomic is false), so concurrent structural
+// mutation on it is a modelling device; the tree's step-bounded loops only
+// guarantee such runs terminate, not that the structure stays valid.
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rhtm.h"
+#include "test_common.h"
+#include "workloads/mutating_rbtree.h"
+
+namespace rhtm {
+namespace {
+
+using rhtm::test::TestCase;
+
+constexpr std::size_t kDomain = 512;
+
+// ------------------------------------------------------- sequential oracle --
+
+/// Random insert/erase/lookup through `tm`, mirrored into a std::set; the
+/// tree must agree with the oracle op-by-op and validate() at the end.
+template <class Tm>
+void sequential_oracle(Tm& tm, std::uint64_t seed) {
+  MutatingRbTree tree(kDomain);
+  std::set<std::uint64_t> oracle;
+  typename Tm::ThreadCtx ctx(tm);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = rng.below(kDomain);
+    const unsigned coin = static_cast<unsigned>(rng.below(3));
+    if (coin == 0) {
+      bool inserted = false;
+      tm.atomically(ctx, [&](auto& tx) { inserted = tree.insert(tx, key, key * 3); });
+      CHECK_EQ(inserted, oracle.insert(key).second);
+    } else if (coin == 1) {
+      bool erased = false;
+      tm.atomically(ctx, [&](auto& tx) { erased = tree.erase(tx, key); });
+      CHECK_EQ(erased, oracle.erase(key) != 0);
+    } else {
+      bool found = false;
+      TmWord value = 0;
+      tm.atomically(ctx, [&](auto& tx) { found = tree.lookup(tx, key, &value); });
+      CHECK_EQ(found, oracle.count(key) != 0);
+      if (found) CHECK_EQ(value, key * 3);
+    }
+  }
+  CHECK_EQ(tree.unsafe_size(), oracle.size());
+  std::string why;
+  const bool valid = tree.validate(&why);
+  if (!valid) std::printf("    invalid tree: %s\n", why.c_str());
+  CHECK(valid);
+}
+
+template <class H>
+void sequential_all_protocols() {
+  TmUniverse<H> u;
+  {
+    Tl2<H> tm(u);
+    sequential_oracle(tm, 1);
+  }
+  {
+    HtmOnly<H> tm(u);
+    sequential_oracle(tm, 2);
+  }
+  {
+    typename StandardHytm<H>::Config cfg;
+    cfg.hardware_only = true;
+    StandardHytm<H> tm(u, cfg);
+    sequential_oracle(tm, 3);
+  }
+  {
+    typename HybridTm<H>::Config cfg;
+    cfg.slow_retry_percent = 100;
+    HybridTm<H> tm(u, cfg);
+    sequential_oracle(tm, 4);
+  }
+  {
+    // Force the RH2 visible-read path so rotations run through Rh2Handle.
+    typename HybridTm<H>::Config cfg;
+    cfg.force_rh2 = true;
+    HybridTm<H> tm(u, cfg);
+    sequential_oracle(tm, 5);
+  }
+  {
+    HybridNorec<H> tm(u);
+    sequential_oracle(tm, 6);
+  }
+  {
+    PhasedTm<H> tm(u);
+    sequential_oracle(tm, 7);
+  }
+}
+
+// ------------------------------------------------------- concurrent churn --
+
+template <class Tm>
+void concurrent_churn(Tm& tm) {
+  MutatingRbTree tree(kDomain);
+  {
+    UnsafeHandle h;
+    for (std::size_t k = 0; k < kDomain; k += 2) CHECK(tree.insert(h, k, k));
+    std::string why;
+    CHECK(tree.validate(&why));
+  }
+  constexpr unsigned kThreads = 4;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      typename Tm::ThreadCtx ctx(tm);
+      Xoshiro256 rng(100 + t);
+      for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t key = rng.below(kDomain);
+        const unsigned coin = static_cast<unsigned>(rng.below(3));
+        if (coin == 0) {
+          tm.atomically(ctx, [&](auto& tx) { (void)tree.insert(tx, key, key); });
+        } else if (coin == 1) {
+          tm.atomically(ctx, [&](auto& tx) { (void)tree.erase(tx, key); });
+        } else {
+          TmWord sink = 0;
+          tm.atomically(ctx, [&](auto& tx) { (void)tree.lookup(tx, key, &sink); });
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::string why;
+  const bool valid = tree.validate(&why);
+  if (!valid) std::printf("    invalid tree after churn: %s\n", why.c_str());
+  CHECK(valid);
+}
+
+template <class H>
+void concurrent_all_protocols() {
+  TmUniverse<H> u;
+  {
+    Tl2<H> tm(u);
+    concurrent_churn(tm);
+  }
+  {
+    HtmOnly<H> tm(u);
+    concurrent_churn(tm);
+  }
+  {
+    typename StandardHytm<H>::Config cfg;
+    cfg.hardware_only = true;
+    StandardHytm<H> tm(u, cfg);
+    concurrent_churn(tm);
+  }
+  for (const unsigned slow_percent : {0u, 100u}) {
+    typename HybridTm<H>::Config cfg;
+    cfg.slow_retry_percent = slow_percent;
+    HybridTm<H> tm(u, cfg);
+    concurrent_churn(tm);
+  }
+  {
+    HybridNorec<H> tm(u);
+    concurrent_churn(tm);
+  }
+  {
+    PhasedTm<H> tm(u);
+    concurrent_churn(tm);
+  }
+}
+
+// A transaction that aborts mid-rebalance must leave no trace: run inserts
+// under a capacity budget too small for the descent, then check nothing
+// changed (the atomic substrates roll speculative stores back).
+template <class H>
+void aborted_insert_rolls_back() {
+  UniverseConfig ucfg;
+  ucfg.htm.max_read_set = 4;  // a descent into a 64-node tree cannot fit
+  ucfg.htm.max_write_set = 4;
+  TmUniverse<H> u(ucfg);
+  MutatingRbTree tree(128);
+  UnsafeHandle uh;
+  for (std::size_t k = 0; k < 128; k += 2) CHECK(tree.insert(uh, k, k));
+  const std::size_t size_before = tree.unsafe_size();
+
+  // HybridTm with hardware-only retries disabled from escalating: force
+  // the fast path only via slow_retry_percent = 0 — capacity aborts still
+  // escalate to the software path, which succeeds; the INTERMEDIATE
+  // hardware attempts must have rolled back (validate catches half-applied
+  // rotations).
+  typename HybridTm<H>::Config cfg;
+  cfg.slow_retry_percent = 0;
+  HybridTm<H> tm(u, cfg);
+  typename HybridTm<H>::ThreadCtx ctx(tm);
+  for (std::uint64_t key = 1; key < 128; key += 8) {
+    tm.atomically(ctx, [&](auto& tx) { (void)tree.insert(tx, key, key); });
+  }
+  CHECK_EQ(tree.unsafe_size(), size_before + 16);
+  std::string why;
+  const bool valid = tree.validate(&why);
+  if (!valid) std::printf("    invalid tree after capacity aborts: %s\n", why.c_str());
+  CHECK(valid);
+  // The escalation was real: some commits landed beyond the fast path.
+  std::uint64_t fast = ctx.stats.commits_by_path[static_cast<std::size_t>(ExecPath::kRh1Fast)];
+  CHECK(fast < ctx.stats.commits);
+}
+
+void test_sequential_sim() { sequential_all_protocols<HtmSim>(); }
+
+void test_sequential_emul_single_thread() {
+  // Single-threaded emulation is exact (no concurrency, injection off):
+  // the full oracle must hold there too.
+  sequential_all_protocols<HtmEmul>();
+}
+
+void test_concurrent_sim() { concurrent_all_protocols<HtmSim>(); }
+
+void test_concurrent_rtm_when_viable() {
+#if defined(__RTM__)
+  if (HtmRtm::hardware_viable()) {
+    concurrent_all_protocols<HtmRtm>();
+    return;
+  }
+#endif
+  std::printf("    (no usable RTM on this host; sim leg covers the contract)\n");
+}
+
+void test_aborted_insert_rolls_back() { aborted_insert_rolls_back<HtmSim>(); }
+
+void test_pool_exhaustion_is_clean() {
+  MutatingRbTree tree(8);
+  UnsafeHandle h;
+  for (std::uint64_t k = 0; k < 8; ++k) CHECK(tree.insert(h, k, k));
+  CHECK(!tree.insert(h, 99, 99));  // full pool refuses, does not corrupt
+  CHECK_EQ(tree.unsafe_size(), 8u);
+  CHECK(tree.validate());
+  CHECK(tree.erase(h, 3));
+  CHECK(tree.insert(h, 99, 99));  // freed node is reusable
+  CHECK(tree.validate());
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      {"sequential_oracle_all_protocols_sim", rhtm::test_sequential_sim},
+      {"sequential_oracle_all_protocols_emul_1t", rhtm::test_sequential_emul_single_thread},
+      {"concurrent_churn_all_protocols_sim", rhtm::test_concurrent_sim},
+      {"concurrent_churn_rtm_when_viable", rhtm::test_concurrent_rtm_when_viable},
+      {"aborted_insert_rolls_back", rhtm::test_aborted_insert_rolls_back},
+      {"pool_exhaustion_is_clean", rhtm::test_pool_exhaustion_is_clean},
+  });
+}

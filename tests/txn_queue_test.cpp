@@ -1,0 +1,236 @@
+// TxnQueue conservation: an item enqueued by a committed transaction is
+// dequeued by exactly one committed transaction — no loss, no duplication,
+// per-producer FIFO — for every protocol, under concurrent producers and
+// consumers on the atomic substrates (HtmSim always, HtmRtm when the host
+// has usable TSX). Sequential FIFO/full/empty semantics are pinned first.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/rhtm.h"
+#include "test_common.h"
+#include "workloads/txn_queue.h"
+
+namespace rhtm {
+namespace {
+
+// ------------------------------------------------------------- sequential --
+
+template <class Tm>
+void sequential_fifo(Tm& tm) {
+  TxnQueue q(4);
+  typename Tm::ThreadCtx ctx(tm);
+  const auto enq = [&](TmWord v) {
+    bool ok = false;
+    tm.atomically(ctx, [&](auto& tx) { ok = q.enqueue(tx, v); });
+    return ok;
+  };
+  const auto deq = [&](TmWord* out) {
+    bool ok = false;
+    tm.atomically(ctx, [&](auto& tx) { ok = q.dequeue(tx, out); });
+    return ok;
+  };
+  TmWord v = 0;
+  CHECK(!deq(&v));  // empty
+  for (TmWord i = 1; i <= 4; ++i) CHECK(enq(i * 10));
+  CHECK(!enq(99));  // full
+  CHECK_EQ(q.unsafe_size(), 4u);
+  for (TmWord i = 1; i <= 4; ++i) {
+    CHECK(deq(&v));
+    CHECK_EQ(v, i * 10);  // FIFO
+  }
+  CHECK(!deq(&v));
+  // Wrap-around: the ring reuses slots correctly past one revolution.
+  for (TmWord i = 0; i < 10; ++i) {
+    CHECK(enq(100 + i));
+    CHECK(deq(&v));
+    CHECK_EQ(v, 100 + i);
+  }
+}
+
+template <class H>
+void sequential_all_protocols() {
+  TmUniverse<H> u;
+  {
+    Tl2<H> tm(u);
+    sequential_fifo(tm);
+  }
+  {
+    HtmOnly<H> tm(u);
+    sequential_fifo(tm);
+  }
+  {
+    typename StandardHytm<H>::Config cfg;
+    cfg.hardware_only = true;
+    StandardHytm<H> tm(u, cfg);
+    sequential_fifo(tm);
+  }
+  {
+    typename HybridTm<H>::Config cfg;
+    cfg.slow_retry_percent = 100;
+    HybridTm<H> tm(u, cfg);
+    sequential_fifo(tm);
+  }
+  {
+    HybridNorec<H> tm(u);
+    sequential_fifo(tm);
+  }
+  {
+    PhasedTm<H> tm(u);
+    sequential_fifo(tm);
+  }
+}
+
+// ------------------------------------------------------------- concurrent --
+
+/// kProducers threads each enqueue kPerProducer tagged items ((producer <<
+/// 32) | seq); kConsumers threads drain until everything produced is
+/// consumed. Afterwards: every item seen exactly once, and each consumer's
+/// view of each producer is strictly seq-ascending (global FIFO implies
+/// per-producer order within one consumer).
+template <class Tm>
+void concurrent_conservation(Tm& tm) {
+  constexpr unsigned kProducers = 2;
+  constexpr unsigned kConsumers = 2;
+  constexpr std::uint64_t kPerProducer = 2000;
+  TxnQueue q(64);  // small ring: full/empty no-ops genuinely happen
+
+  std::atomic<std::uint64_t> consumed_total{0};
+  std::atomic<bool> deadline_hit{false};
+  std::vector<std::vector<TmWord>> consumed(kConsumers);
+  std::vector<std::thread> threads;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+
+  for (unsigned p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      typename Tm::ThreadCtx ctx(tm);
+      for (std::uint64_t seq = 0; seq < kPerProducer;) {
+        bool ok = false;
+        const TmWord item = (static_cast<TmWord>(p) << 32) | seq;
+        tm.atomically(ctx, [&](auto& tx) { ok = q.enqueue(tx, item); });
+        if (ok) {
+          ++seq;
+        } else if (std::chrono::steady_clock::now() > deadline) {
+          deadline_hit.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (unsigned c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      typename Tm::ThreadCtx ctx(tm);
+      consumed[c].reserve(kPerProducer);
+      while (consumed_total.load(std::memory_order_acquire) <
+             kProducers * kPerProducer) {
+        bool ok = false;
+        TmWord item = 0;
+        tm.atomically(ctx, [&](auto& tx) { ok = q.dequeue(tx, &item); });
+        if (ok) {
+          consumed[c].push_back(item);
+          consumed_total.fetch_add(1, std::memory_order_acq_rel);
+        } else if (std::chrono::steady_clock::now() > deadline) {
+          deadline_hit.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  CHECK(!deadline_hit.load());
+  CHECK_EQ(consumed_total.load(), kProducers * kPerProducer);
+  CHECK_EQ(q.unsafe_size(), 0u);
+  CHECK_EQ(q.unsafe_enqueued(), kProducers * kPerProducer);
+
+  // Exactly-once: mark every (producer, seq) off a bitmap.
+  std::vector<std::vector<bool>> seen(kProducers, std::vector<bool>(kPerProducer, false));
+  std::uint64_t duplicates = 0;
+  for (const auto& items : consumed) {
+    std::uint64_t last_seq[kProducers];
+    bool any[kProducers] = {};
+    for (unsigned p = 0; p < kProducers; ++p) last_seq[p] = 0;
+    for (const TmWord item : items) {
+      const auto p = static_cast<unsigned>(item >> 32);
+      const std::uint64_t seq = item & 0xffffffffull;
+      CHECK(p < kProducers && seq < kPerProducer);
+      if (seen[p][seq]) ++duplicates;
+      seen[p][seq] = true;
+      // Per-producer FIFO within this consumer's stream.
+      if (any[p]) CHECK(seq > last_seq[p]);
+      any[p] = true;
+      last_seq[p] = seq;
+    }
+  }
+  CHECK_EQ(duplicates, 0u);
+  std::uint64_t missing = 0;
+  for (const auto& per_producer : seen) {
+    for (const bool s : per_producer) {
+      if (!s) ++missing;
+    }
+  }
+  CHECK_EQ(missing, 0u);
+}
+
+template <class H>
+void concurrent_all_protocols() {
+  TmUniverse<H> u;
+  {
+    Tl2<H> tm(u);
+    concurrent_conservation(tm);
+  }
+  {
+    HtmOnly<H> tm(u);
+    concurrent_conservation(tm);
+  }
+  {
+    typename StandardHytm<H>::Config cfg;
+    cfg.hardware_only = true;
+    StandardHytm<H> tm(u, cfg);
+    concurrent_conservation(tm);
+  }
+  for (const unsigned slow_percent : {0u, 100u}) {
+    typename HybridTm<H>::Config cfg;
+    cfg.slow_retry_percent = slow_percent;
+    HybridTm<H> tm(u, cfg);
+    concurrent_conservation(tm);
+  }
+  {
+    HybridNorec<H> tm(u);
+    concurrent_conservation(tm);
+  }
+  {
+    PhasedTm<H> tm(u);
+    concurrent_conservation(tm);
+  }
+}
+
+void test_sequential_sim() { sequential_all_protocols<HtmSim>(); }
+void test_sequential_emul() { sequential_all_protocols<HtmEmul>(); }
+void test_concurrent_sim() { concurrent_all_protocols<HtmSim>(); }
+
+void test_concurrent_rtm_when_viable() {
+#if defined(__RTM__)
+  if (HtmRtm::hardware_viable()) {
+    concurrent_all_protocols<HtmRtm>();
+    return;
+  }
+#endif
+  std::printf("    (no usable RTM on this host; sim leg covers the contract)\n");
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      {"sequential_fifo_all_protocols_sim", rhtm::test_sequential_sim},
+      {"sequential_fifo_all_protocols_emul_1t", rhtm::test_sequential_emul},
+      {"concurrent_conservation_all_protocols_sim", rhtm::test_concurrent_sim},
+      {"concurrent_conservation_rtm_when_viable", rhtm::test_concurrent_rtm_when_viable},
+  });
+}

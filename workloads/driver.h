@@ -1,19 +1,117 @@
 #pragma once
 
 // Measurement drivers: multi-threaded throughput, the single-thread cycle
-// breakdown (paper Fig. 2 bottom), and a footprint-sweep helper for
-// capacity-path experiments.
+// breakdown (paper Fig. 2 bottom), a footprint-sweep helper for
+// capacity-path experiments, and the thread-affinity (pinning) helper the
+// NUMA/topology sweeps build on.
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "core/rhtm.h"
 
 namespace rhtm {
+
+// ------------------------------------------------------------ thread pinning --
+
+/// Thread-affinity policy for the measurement drivers (the first concrete
+/// step on the NUMA/topology roadmap item):
+///  * none    — leave placement to the OS scheduler (the default).
+///  * compact — thread t on CPU t mod N: fill adjacent CPUs first, so small
+///              thread counts stay on one socket/complex.
+///  * scatter — alternate threads between the lower and upper half of the
+///              CPU id space (t=0 -> 0, t=1 -> ceil(N/2), t=2 -> 1, ...):
+///              spread across sockets first on the common
+///              contiguous-per-socket numbering.
+enum class PinMode : std::uint8_t { kNone, kCompact, kScatter };
+
+[[nodiscard]] constexpr const char* to_string(PinMode m) {
+  switch (m) {
+    case PinMode::kNone: return "none";
+    case PinMode::kCompact: return "compact";
+    case PinMode::kScatter: return "scatter";
+  }
+  return "?";
+}
+
+/// Parses a canonical pin-mode name. Returns false on an unknown name.
+[[nodiscard]] inline bool parse_pin_mode(const char* name, PinMode* out) {
+  for (const PinMode m : {PinMode::kNone, PinMode::kCompact, PinMode::kScatter}) {
+    if (std::strcmp(name, to_string(m)) == 0) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The CPU id a pin mode assigns to worker `tid` on an `ncpu`-CPU host.
+/// Both modes are permutations of [0, ncpu) over any ncpu consecutive
+/// tids, so no CPU is doubly assigned before every CPU is used once.
+[[nodiscard]] inline unsigned pin_cpu_for(PinMode mode, unsigned tid, unsigned ncpu) {
+  if (ncpu == 0) return 0;
+  const unsigned t = tid % ncpu;
+  if (mode == PinMode::kScatter) {
+    // Even tids walk the lower half [0, ceil(N/2)), odd tids the upper
+    // half [ceil(N/2), N) — a bijection for odd N too.
+    const unsigned upper = (ncpu + 1) / 2;
+    return t % 2 == 0 ? t / 2 : upper + t / 2;
+  }
+  return t;  // compact (and the don't-care value for none)
+}
+
+/// Pins the calling thread per `mode`. The pin_cpu_for index selects into
+/// the CPUs this process is actually *allowed* to run on
+/// (sched_getaffinity), not into [0, N) — so pinning works under taskset /
+/// container cpusets whose masks do not start at CPU 0. Where unsupported
+/// (non-Linux builds, or a failing affinity syscall) it warns once per
+/// process and becomes a no-op — measurements still run, just unpinned.
+inline void pin_current_thread(PinMode mode, unsigned tid) {
+  if (mode == PinMode::kNone) return;
+  static std::atomic<bool> warned{false};
+  const auto warn_once = [&](const char* why) {
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr, "warning: --pin=%s unsupported (%s); running unpinned\n",
+                   to_string(mode), why);
+    }
+  };
+#if defined(__linux__)
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof allowed, &allowed) != 0) {
+    warn_once("sched_getaffinity failed");
+    return;
+  }
+  std::vector<unsigned> cpus;
+  for (unsigned c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &allowed)) cpus.push_back(c);
+  }
+  if (cpus.empty()) {
+    warn_once("empty affinity mask");
+    return;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpus[pin_cpu_for(mode, tid, static_cast<unsigned>(cpus.size()))], &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof set, &set) != 0) {
+    warn_once("pthread_setaffinity_np failed");
+  }
+#else
+  (void)tid;
+  warn_once("no thread-affinity API on this platform");
+#endif
+}
 
 struct ThroughputResult {
   std::uint64_t total_ops = 0;
@@ -28,10 +126,33 @@ struct ThroughputResult {
   }
 };
 
+/// Element-wise `now - before` over every TxStats counter: the per-phase /
+/// per-window accounting primitive shared by run_capacity_pressure and the
+/// phased driver (workloads/phase_schedule.h).
+[[nodiscard]] inline TxStats tx_stats_delta(const TxStats& now, const TxStats& before) {
+  TxStats d = now;
+  d.commits -= before.commits;
+  d.aborts -= before.aborts;
+  d.reads -= before.reads;
+  d.writes -= before.writes;
+  d.read_cycles -= before.read_cycles;
+  d.write_cycles -= before.write_cycles;
+  d.tx_cycles -= before.tx_cycles;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(ExecPath::kCount); ++i) {
+    d.commits_by_path[i] -= before.commits_by_path[i];
+    d.attempts_by_path[i] -= before.attempts_by_path[i];
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
+    d.aborts_by_cause[i] -= before.aborts_by_cause[i];
+  }
+  return d;
+}
+
 /// Drives `op(tm, ctx, rng, tid)` — one transaction per call — on `threads`
 /// threads for `seconds`, aggregating per-thread TxStats.
 template <class Tm, class Op>
-ThroughputResult run_throughput(Tm& tm, unsigned threads, double seconds, Op&& op) {
+ThroughputResult run_throughput(Tm& tm, unsigned threads, double seconds, Op&& op,
+                                PinMode pin = PinMode::kNone) {
   struct PerThread {
     std::uint64_t ops = 0;
     TxStats stats;
@@ -42,6 +163,7 @@ ThroughputResult run_throughput(Tm& tm, unsigned threads, double seconds, Op&& o
   workers.reserve(threads);
   for (unsigned tid = 0; tid < threads; ++tid) {
     workers.emplace_back([&, tid] {
+      pin_current_thread(pin, tid);
       typename Tm::ThreadCtx ctx(tm);
       Xoshiro256 rng(0x853c49e6748fea9bull ^ (static_cast<std::uint64_t>(tid) + 1) *
                                                  0x9e3779b97f4a7c15ull);
@@ -141,23 +263,7 @@ TxStats run_capacity_pressure(Tm& tm, typename Tm::ThreadCtx& ctx, int ops, Op&&
   for (int i = 0; i < ops; ++i) {
     op(tm, ctx, rng, 0u);
   }
-  TxStats delta = ctx.stats;
-  // Convert to a delta (arrays subtract element-wise).
-  delta.commits -= before.commits;
-  delta.aborts -= before.aborts;
-  delta.reads -= before.reads;
-  delta.writes -= before.writes;
-  delta.read_cycles -= before.read_cycles;
-  delta.write_cycles -= before.write_cycles;
-  delta.tx_cycles -= before.tx_cycles;
-  for (std::size_t i = 0; i < static_cast<std::size_t>(ExecPath::kCount); ++i) {
-    delta.commits_by_path[i] -= before.commits_by_path[i];
-    delta.attempts_by_path[i] -= before.attempts_by_path[i];
-  }
-  for (std::size_t i = 0; i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
-    delta.aborts_by_cause[i] -= before.aborts_by_cause[i];
-  }
-  return delta;
+  return tx_stats_delta(ctx.stats, before);
 }
 
 }  // namespace rhtm

@@ -1,0 +1,523 @@
+#pragma once
+
+// Mutating red-black tree — the dynamic counterpart of ConstantRbTree.
+// Inserts and deletes really restructure the tree (CLRS rotations and
+// recoloring executed through the transactional handle), so the footprint
+// of an update transaction varies with where the rebalance terminates and
+// the capacity escalation chain (fast -> RH1-slow -> RH2 -> slow-slow) is
+// exercised by the workload itself rather than by ablation knobs. This is
+// exactly the structurally-mutating shape Brown & Ravi and Alistarh et al.
+// argue HyTM methodology must not hide.
+//
+// Representation: an index-based node pool (nil = -1) whose every field —
+// key, value, child/parent links, color — is a TVar, plus a transactional
+// free list threaded through the `right` link and a transactional size
+// counter. Allocation and reclamation happen *inside* the enclosing
+// transaction, so an aborted insert/erase rolls its pool mutation back on
+// the atomic substrates.
+//
+// Termination under HtmEmul: the emulated substrate has no rollback or
+// conflict detection, so concurrent runs can leave the structure
+// inconsistent between operations (a documented modelling infidelity —
+// see SubstrateTraits<HtmEmul>::kAtomic). Every loop in this file is
+// therefore step-bounded: on a corrupted structure an operation gives up
+// and returns instead of chasing a pointer cycle forever. On the atomic
+// substrates (sim, rtm) the bounds are unreachable for any pool that fits
+// in memory and the structure stays a valid red-black tree under
+// concurrent transactional mutation (tests/mutating_tree_test.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cell.h"
+
+namespace rhtm {
+
+class MutatingRbTree {
+ public:
+  static constexpr std::int32_t kNil = -1;
+
+  /// Pool capacity = the maximum number of live keys. Every node starts on
+  /// the free list; the tree starts empty.
+  explicit MutatingRbTree(std::size_t capacity) : nodes_(capacity) {
+    for (std::size_t i = 0; i < capacity; ++i) {
+      nodes_[i].right.unsafe_write(i + 1 < capacity ? static_cast<std::int32_t>(i + 1)
+                                                    : kNil);
+    }
+    free_head_.unsafe_write(capacity > 0 ? 0 : kNil);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t unsafe_size() const {
+    return static_cast<std::size_t>(size_.unsafe_read());
+  }
+
+  /// Transactional lookup; on hit stores the value into *out (if non-null).
+  template <class Handle>
+  bool lookup(Handle& h, std::uint64_t key, TmWord* out = nullptr) const {
+    std::int32_t i = root_.read(h);
+    for (unsigned step = 0; step < kMaxSteps && in_pool(i); ++step) {
+      const Node& n = node(i);
+      const TmWord k = n.key.read(h);
+      if (k == key) {
+        if (out != nullptr) *out = n.value.read(h);
+        return true;
+      }
+      i = key < k ? n.left.read(h) : n.right.read(h);
+    }
+    return false;
+  }
+
+  /// Transactional insert. Returns true when the key was newly inserted;
+  /// when the key is already present its value is overwritten and false is
+  /// returned. A full pool (or a step-bound bail-out on a corrupted
+  /// emulated structure) also returns false.
+  template <class Handle>
+  bool insert(Handle& h, std::uint64_t key, TmWord value) {
+    std::int32_t parent = kNil;
+    std::int32_t i = root_.read(h);
+    bool went_left = false;
+    unsigned step = 0;
+    while (in_pool(i)) {
+      if (++step > kMaxSteps) return false;
+      const Node& n = node(i);
+      const TmWord k = n.key.read(h);
+      if (k == key) {
+        n.value.write(h, value);
+        return false;
+      }
+      parent = i;
+      went_left = key < k;
+      i = went_left ? n.left.read(h) : n.right.read(h);
+    }
+    const std::int32_t z = alloc(h);
+    if (z == kNil) return false;  // pool exhausted
+    const Node& zn = node(z);
+    zn.key.write(h, key);
+    zn.value.write(h, value);
+    zn.left.write(h, kNil);
+    zn.right.write(h, kNil);
+    zn.parent.write(h, parent);
+    zn.color.write(h, kRed);
+    if (!in_pool(parent)) {
+      root_.write(h, z);
+    } else if (went_left) {
+      node(parent).left.write(h, z);
+    } else {
+      node(parent).right.write(h, z);
+    }
+    size_.write(h, size_.read(h) + 1);
+    insert_fixup(h, z);
+    return true;
+  }
+
+  /// Transactional erase. Returns whether the key was present.
+  template <class Handle>
+  bool erase(Handle& h, std::uint64_t key) {
+    // Find the node carrying the key.
+    std::int32_t z = root_.read(h);
+    unsigned step = 0;
+    while (in_pool(z)) {
+      if (++step > kMaxSteps) return false;
+      const TmWord k = node(z).key.read(h);
+      if (k == key) break;
+      z = key < k ? node(z).left.read(h) : node(z).right.read(h);
+    }
+    if (!in_pool(z)) return false;
+
+    // Two children: move the successor's payload into z, then unlink the
+    // successor (which has no left child) instead.
+    if (in_pool(node(z).left.read(h)) && in_pool(node(z).right.read(h))) {
+      std::int32_t s = node(z).right.read(h);
+      for (step = 0; step < kMaxSteps; ++step) {
+        const std::int32_t l = node(s).left.read(h);
+        if (!in_pool(l)) break;
+        s = l;
+      }
+      node(z).key.write(h, node(s).key.read(h));
+      node(z).value.write(h, node(s).value.read(h));
+      z = s;
+    }
+
+    // z now has at most one child; splice it out.
+    const std::int32_t zl = node(z).left.read(h);
+    const std::int32_t c = in_pool(zl) ? zl : node(z).right.read(h);
+    const std::int32_t p = node(z).parent.read(h);
+    if (in_pool(c)) node(c).parent.write(h, p);
+    if (!in_pool(p)) {
+      root_.write(h, c);
+    } else if (node(p).left.read(h) == z) {
+      node(p).left.write(h, c);
+    } else {
+      node(p).right.write(h, c);
+    }
+    const bool was_black = node(z).color.read(h) == kBlack;
+    free_node(h, z);
+    size_.write(h, size_.read(h) - 1);
+    if (was_black) erase_fixup(h, c, p);
+    return true;
+  }
+
+  /// Transactional in-order scan from the leftmost node, visiting at most
+  /// `max_nodes` keys and accumulating them into *checksum. Returns the
+  /// number of keys visited. This is the long-transaction op of the phased
+  /// scenario: its read set scales with the live tree, which is what pushes
+  /// the protocols down their capacity escalation chains.
+  template <class Handle>
+  std::size_t scan_inorder(Handle& h, std::size_t max_nodes, std::uint64_t* checksum) const {
+    std::size_t visited = 0;
+    std::uint64_t sum = 0;
+    std::int32_t i = root_.read(h);
+    // Descend to the leftmost node, then successor-walk via parent links.
+    unsigned step = 0;
+    std::int32_t cur = kNil;
+    while (in_pool(i)) {
+      if (++step > kMaxSteps) break;
+      cur = i;
+      i = node(i).left.read(h);
+    }
+    const unsigned kWalkBound = kMaxSteps * 64;
+    for (unsigned walk = 0; in_pool(cur) && visited < max_nodes && walk < kWalkBound;
+         ++walk) {
+      sum += node(cur).key.read(h);
+      ++visited;
+      cur = successor(h, cur);
+    }
+    if (checksum != nullptr) *checksum += sum;
+    return visited;
+  }
+
+  // ------------------------------------------------------------ validation --
+  /// Full red-black + conservation audit over the quiescent structure
+  /// (unsafe reads; callers must have joined every mutator thread):
+  /// BST order, parent links, root blackness, no red-red edge, equal black
+  /// height on every path, size counter == reachable nodes, and
+  /// reachable + free-list == pool (no leak, no double-use, no cycle).
+  bool validate(std::string* why = nullptr) const {
+    UnsafeHandle h;
+    const auto fail = [&](const std::string& msg) {
+      if (why != nullptr) *why = msg;
+      return false;
+    };
+    std::vector<bool> seen(nodes_.size(), false);
+    const std::int32_t root = root_.read(h);
+    if (root != kNil && !in_pool(root)) return fail("root index out of pool");
+    if (in_pool(root)) {
+      if (node(root).color.read(h) != kBlack) return fail("root is red");
+      if (node(root).parent.read(h) != kNil) return fail("root has a parent");
+    }
+    std::size_t count = 0;
+    const int bh = audit(h, root, kNil, nullptr, nullptr, seen, &count, fail);
+    if (bh < 0) return false;
+    if (count != unsafe_size()) {
+      return fail("size counter " + std::to_string(unsafe_size()) + " != reachable " +
+                  std::to_string(count));
+    }
+    std::size_t free_count = 0;
+    std::int32_t f = free_head_.read(h);
+    while (in_pool(f)) {
+      if (seen[static_cast<std::size_t>(f)]) {
+        return fail("free-list node also reachable (or free-list cycle)");
+      }
+      seen[static_cast<std::size_t>(f)] = true;
+      ++free_count;
+      f = node(f).right.read(h);
+    }
+    if (f != kNil) return fail("free-list link out of pool");
+    if (count + free_count != nodes_.size()) {
+      return fail("pool leak: " + std::to_string(count) + " live + " +
+                  std::to_string(free_count) + " free != " + std::to_string(nodes_.size()));
+    }
+    return true;
+  }
+
+ private:
+  static constexpr TmWord kRed = 0;
+  static constexpr TmWord kBlack = 1;
+  /// Step bound on every traversal/fixup loop: far above any valid tree's
+  /// height (2·log2(capacity+1) < 128 up to 2^63 nodes) yet finite, so a
+  /// structure corrupted by the non-atomic emulated substrate can never
+  /// hang an operation.
+  static constexpr unsigned kMaxSteps = 512;
+
+  struct Node {
+    TVar<TmWord> key;
+    TVar<TmWord> value;
+    TVar<std::int32_t> left{kNil};
+    TVar<std::int32_t> right{kNil};
+    TVar<std::int32_t> parent{kNil};
+    TVar<TmWord> color{kBlack};
+  };
+
+  [[nodiscard]] bool in_pool(std::int32_t i) const {
+    return i >= 0 && static_cast<std::size_t>(i) < nodes_.size();
+  }
+  [[nodiscard]] const Node& node(std::int32_t i) const {
+    return nodes_[static_cast<std::size_t>(i)];
+  }
+
+  // ------------------------------------------------------------- free list --
+  template <class Handle>
+  std::int32_t alloc(Handle& h) {
+    const std::int32_t i = free_head_.read(h);
+    if (!in_pool(i)) return kNil;
+    free_head_.write(h, node(i).right.read(h));
+    return i;
+  }
+
+  template <class Handle>
+  void free_node(Handle& h, std::int32_t i) {
+    node(i).right.write(h, free_head_.read(h));
+    free_head_.write(h, i);
+  }
+
+  // -------------------------------------------------------------- rotations --
+  template <class Handle>
+  void rotate_left(Handle& h, std::int32_t x) {
+    const std::int32_t y = node(x).right.read(h);
+    if (!in_pool(y)) return;
+    const std::int32_t yl = node(y).left.read(h);
+    node(x).right.write(h, yl);
+    if (in_pool(yl)) node(yl).parent.write(h, x);
+    const std::int32_t p = node(x).parent.read(h);
+    node(y).parent.write(h, p);
+    if (!in_pool(p)) {
+      root_.write(h, y);
+    } else if (node(p).left.read(h) == x) {
+      node(p).left.write(h, y);
+    } else {
+      node(p).right.write(h, y);
+    }
+    node(y).left.write(h, x);
+    node(x).parent.write(h, y);
+  }
+
+  template <class Handle>
+  void rotate_right(Handle& h, std::int32_t x) {
+    const std::int32_t y = node(x).left.read(h);
+    if (!in_pool(y)) return;
+    const std::int32_t yr = node(y).right.read(h);
+    node(x).left.write(h, yr);
+    if (in_pool(yr)) node(yr).parent.write(h, x);
+    const std::int32_t p = node(x).parent.read(h);
+    node(y).parent.write(h, p);
+    if (!in_pool(p)) {
+      root_.write(h, y);
+    } else if (node(p).left.read(h) == x) {
+      node(p).left.write(h, y);
+    } else {
+      node(p).right.write(h, y);
+    }
+    node(y).right.write(h, x);
+    node(x).parent.write(h, y);
+  }
+
+  // ---------------------------------------------------------------- fixups --
+  template <class Handle>
+  void insert_fixup(Handle& h, std::int32_t z) {
+    for (unsigned step = 0; step < kMaxSteps; ++step) {
+      const std::int32_t p = node(z).parent.read(h);
+      if (!in_pool(p) || node(p).color.read(h) != kRed) break;
+      const std::int32_t g = node(p).parent.read(h);
+      if (!in_pool(g)) break;
+      if (node(g).left.read(h) == p) {
+        const std::int32_t u = node(g).right.read(h);
+        if (in_pool(u) && node(u).color.read(h) == kRed) {
+          node(p).color.write(h, kBlack);
+          node(u).color.write(h, kBlack);
+          node(g).color.write(h, kRed);
+          z = g;
+        } else {
+          if (node(p).right.read(h) == z) {
+            z = p;
+            rotate_left(h, z);
+          }
+          const std::int32_t p2 = node(z).parent.read(h);
+          if (!in_pool(p2)) break;
+          node(p2).color.write(h, kBlack);
+          const std::int32_t g2 = node(p2).parent.read(h);
+          if (!in_pool(g2)) break;
+          node(g2).color.write(h, kRed);
+          rotate_right(h, g2);
+        }
+      } else {
+        const std::int32_t u = node(g).left.read(h);
+        if (in_pool(u) && node(u).color.read(h) == kRed) {
+          node(p).color.write(h, kBlack);
+          node(u).color.write(h, kBlack);
+          node(g).color.write(h, kRed);
+          z = g;
+        } else {
+          if (node(p).left.read(h) == z) {
+            z = p;
+            rotate_right(h, z);
+          }
+          const std::int32_t p2 = node(z).parent.read(h);
+          if (!in_pool(p2)) break;
+          node(p2).color.write(h, kBlack);
+          const std::int32_t g2 = node(p2).parent.read(h);
+          if (!in_pool(g2)) break;
+          node(g2).color.write(h, kRed);
+          rotate_left(h, g2);
+        }
+      }
+    }
+    const std::int32_t r = root_.read(h);
+    if (in_pool(r)) node(r).color.write(h, kBlack);
+  }
+
+  /// CLRS delete-fixup with an explicit parent because x may be nil.
+  template <class Handle>
+  void erase_fixup(Handle& h, std::int32_t x, std::int32_t xp) {
+    for (unsigned step = 0; step < kMaxSteps; ++step) {
+      if (!in_pool(xp)) break;  // x is the root
+      if (in_pool(x) && node(x).color.read(h) == kRed) break;
+      if (node(xp).left.read(h) == x) {
+        std::int32_t w = node(xp).right.read(h);
+        if (!in_pool(w)) break;  // emul-corruption bail-out
+        if (node(w).color.read(h) == kRed) {
+          node(w).color.write(h, kBlack);
+          node(xp).color.write(h, kRed);
+          rotate_left(h, xp);
+          w = node(xp).right.read(h);
+          if (!in_pool(w)) break;
+        }
+        const std::int32_t wl = node(w).left.read(h);
+        const std::int32_t wr = node(w).right.read(h);
+        const bool wl_black = !in_pool(wl) || node(wl).color.read(h) == kBlack;
+        const bool wr_black = !in_pool(wr) || node(wr).color.read(h) == kBlack;
+        if (wl_black && wr_black) {
+          node(w).color.write(h, kRed);
+          x = xp;
+          xp = node(x).parent.read(h);
+        } else {
+          if (wr_black) {
+            if (in_pool(wl)) node(wl).color.write(h, kBlack);
+            node(w).color.write(h, kRed);
+            rotate_right(h, w);
+            w = node(xp).right.read(h);
+            if (!in_pool(w)) break;
+          }
+          node(w).color.write(h, node(xp).color.read(h));
+          node(xp).color.write(h, kBlack);
+          const std::int32_t wr2 = node(w).right.read(h);
+          if (in_pool(wr2)) node(wr2).color.write(h, kBlack);
+          rotate_left(h, xp);
+          x = root_.read(h);
+          break;
+        }
+      } else {
+        std::int32_t w = node(xp).left.read(h);
+        if (!in_pool(w)) break;
+        if (node(w).color.read(h) == kRed) {
+          node(w).color.write(h, kBlack);
+          node(xp).color.write(h, kRed);
+          rotate_right(h, xp);
+          w = node(xp).left.read(h);
+          if (!in_pool(w)) break;
+        }
+        const std::int32_t wl = node(w).left.read(h);
+        const std::int32_t wr = node(w).right.read(h);
+        const bool wl_black = !in_pool(wl) || node(wl).color.read(h) == kBlack;
+        const bool wr_black = !in_pool(wr) || node(wr).color.read(h) == kBlack;
+        if (wl_black && wr_black) {
+          node(w).color.write(h, kRed);
+          x = xp;
+          xp = node(x).parent.read(h);
+        } else {
+          if (wl_black) {
+            if (in_pool(wr)) node(wr).color.write(h, kBlack);
+            node(w).color.write(h, kRed);
+            rotate_left(h, w);
+            w = node(xp).left.read(h);
+            if (!in_pool(w)) break;
+          }
+          node(w).color.write(h, node(xp).color.read(h));
+          node(xp).color.write(h, kBlack);
+          const std::int32_t wl2 = node(w).left.read(h);
+          if (in_pool(wl2)) node(wl2).color.write(h, kBlack);
+          rotate_right(h, xp);
+          x = root_.read(h);
+          break;
+        }
+      }
+    }
+    if (in_pool(x)) node(x).color.write(h, kBlack);
+  }
+
+  template <class Handle>
+  std::int32_t successor(Handle& h, std::int32_t i) const {
+    std::int32_t r = node(i).right.read(h);
+    if (in_pool(r)) {
+      for (unsigned step = 0; step < kMaxSteps; ++step) {
+        const std::int32_t l = node(r).left.read(h);
+        if (!in_pool(l)) return r;
+        r = l;
+      }
+      return kNil;
+    }
+    std::int32_t p = node(i).parent.read(h);
+    for (unsigned step = 0; step < kMaxSteps && in_pool(p); ++step) {
+      if (node(p).left.read(h) == i) return p;
+      i = p;
+      p = node(p).parent.read(h);
+    }
+    return kNil;
+  }
+
+  /// Recursive audit helper for validate(): returns the subtree's black
+  /// height, or -1 after calling `fail`. Bounds are *exclusive* and null =
+  /// unbounded, so duplicate keys and the extreme key values cannot slip
+  /// through lo/hi ± 1 arithmetic. The `seen` bitmap turns any cycle into
+  /// a detected failure instead of unbounded recursion.
+  template <class Fail>
+  int audit(UnsafeHandle& h, std::int32_t i, std::int32_t expect_parent,
+            const std::uint64_t* lo, const std::uint64_t* hi, std::vector<bool>& seen,
+            std::size_t* count, const Fail& fail) const {
+    if (i == kNil) return 1;  // nil leaves are black
+    if (!in_pool(i)) return fail("link out of pool"), -1;
+    if (seen[static_cast<std::size_t>(i)]) return fail("cycle / shared node"), -1;
+    seen[static_cast<std::size_t>(i)] = true;
+    ++*count;
+    const Node& n = node(i);
+    if (n.parent.read(h) != expect_parent) return fail("bad parent link"), -1;
+    const TmWord k = n.key.read(h);
+    if ((lo != nullptr && k <= *lo) || (hi != nullptr && k >= *hi)) {
+      return fail("BST order violated"), -1;
+    }
+    const TmWord color = n.color.read(h);
+    if (color != kRed && color != kBlack) return fail("bad color word"), -1;
+    const std::int32_t l = n.left.read(h);
+    const std::int32_t r = n.right.read(h);
+    if (color == kRed) {
+      if (in_pool(l) && node(l).color.read(h) == kRed) return fail("red-red edge"), -1;
+      if (in_pool(r) && node(r).color.read(h) == kRed) return fail("red-red edge"), -1;
+    }
+    const int bl = audit(h, l, i, lo, &k, seen, count, fail);
+    if (bl < 0) return -1;
+    const int br = audit(h, r, i, &k, hi, seen, count, fail);
+    if (br < 0) return -1;
+    if (bl != br) return fail("black-height mismatch"), -1;
+    return bl + (color == kBlack ? 1 : 0);
+  }
+
+  std::vector<Node> nodes_;
+  TVar<std::int32_t> root_{kNil};
+  TVar<std::int32_t> free_head_{kNil};
+  TVar<TmWord> size_{0};
+};
+
+/// Pre-populates `tree` with the even keys of [0, capacity) — the
+/// half-occupancy steady state of an equal insert/erase mix over a fixed
+/// key domain, shared by every scenario that benches this tree.
+/// Non-transactional: single-threaded initialization only.
+inline void populate_even_keys(MutatingRbTree& tree) {
+  UnsafeHandle h;
+  for (std::size_t k = 0; k < tree.capacity(); k += 2) {
+    tree.insert(h, static_cast<std::uint64_t>(k), static_cast<TmWord>(k));
+  }
+}
+
+}  // namespace rhtm

@@ -1,0 +1,154 @@
+#pragma once
+
+// Phase schedule + phased measurement driver — long-running workloads whose
+// operation mix and transaction size change on a timed cadence *within one
+// run*: read-mostly -> write-burst -> long-transaction snapshot. The paper
+// (and the seed benches) measure each mix in isolation, which hides how a
+// protocol behaves when the workload it tuned itself against shifts under
+// it (PhasedTm's global mode switch and HybridTm's adaptive retry policy
+// are exactly such tuners). The phased driver keeps per-phase TxStats, so
+// a scenario can report each phase as its own row.
+//
+// The schedule is wall-clock-driven: phase i owns the window
+// [boundary[i-1], boundary[i]) of the total run, boundaries being the
+// normalized cumulative weights. Every thread evaluates the phase from its
+// own elapsed time before each operation, so threads cross a boundary
+// within one operation of each other and no cross-thread coordination is
+// added to the measured path.
+
+#include <cstddef>
+#include <vector>
+
+#include "workloads/driver.h"
+
+namespace rhtm {
+
+/// One phase of a schedule. The driver interprets only `name` and `weight`;
+/// the mix knobs (write_percent, long_op_percent, long_op_scale) are
+/// carried through to the workload's op lambda, which decides what they
+/// mean (e.g. long_op_scale = snapshot length in nodes).
+struct Phase {
+  const char* name;
+  double weight = 1.0;            ///< relative share of the total run time
+  unsigned write_percent = 0;     ///< % of ops that mutate
+  unsigned long_op_percent = 0;   ///< % of ops that run the long transaction
+  std::size_t long_op_scale = 0;  ///< size knob for the long transaction
+};
+
+class PhaseSchedule {
+ public:
+  explicit PhaseSchedule(std::vector<Phase> phases) : phases_(std::move(phases)) {
+    if (phases_.empty()) phases_.push_back({"all", 1.0, 0, 0, 0});
+    double total = 0;
+    for (const Phase& p : phases_) total += p.weight > 0 ? p.weight : 0;
+    // No positive weight anywhere: fall back to an equal split (weight 1
+    // each) rather than collapsing every window to zero width.
+    const bool equal_split = total <= 0;
+    if (equal_split) total = static_cast<double>(phases_.size());
+    double acc = 0;
+    for (const Phase& p : phases_) {
+      acc += (equal_split ? 1.0 : (p.weight > 0 ? p.weight : 0)) / total;
+      boundaries_.push_back(acc);
+    }
+    boundaries_.back() = 1.0;  // absorb rounding: the last phase owns the tail
+  }
+
+  [[nodiscard]] std::size_t size() const { return phases_.size(); }
+  [[nodiscard]] const Phase& phase(std::size_t i) const { return phases_[i]; }
+
+  /// Fraction of the total run each phase owns.
+  [[nodiscard]] double fraction(std::size_t i) const {
+    return boundaries_[i] - (i == 0 ? 0.0 : boundaries_[i - 1]);
+  }
+
+  /// Phase index owning elapsed-fraction `frac` (clamped into [0, 1]).
+  [[nodiscard]] std::size_t phase_at(double frac) const {
+    for (std::size_t i = 0; i + 1 < boundaries_.size(); ++i) {
+      if (frac < boundaries_[i]) return i;
+    }
+    return boundaries_.size() - 1;
+  }
+
+ private:
+  std::vector<Phase> phases_;
+  std::vector<double> boundaries_;  ///< cumulative end fraction per phase
+};
+
+/// One ThroughputResult per phase; `seconds` of each is the phase's nominal
+/// window, so ops_per_sec composes per phase.
+struct PhasedResult {
+  std::vector<ThroughputResult> per_phase;
+
+  [[nodiscard]] ThroughputResult total() const {
+    ThroughputResult t;
+    for (const ThroughputResult& r : per_phase) {
+      t.total_ops += r.total_ops;
+      t.seconds += r.seconds;
+      t.stats.merge(r.stats);
+    }
+    return t;
+  }
+};
+
+/// Drives `op(tm, ctx, rng, tid, phase_index, phase)` — one transaction per
+/// call — on `threads` threads for `total_seconds`, switching phases on the
+/// schedule's cadence and attributing ops + TxStats to the phase that
+/// issued them.
+template <class Tm, class Op>
+PhasedResult run_phased(Tm& tm, unsigned threads, double total_seconds,
+                        const PhaseSchedule& schedule, Op&& op,
+                        PinMode pin = PinMode::kNone) {
+  struct Slot {
+    std::uint64_t ops = 0;
+    TxStats stats;
+  };
+  const std::size_t phases = schedule.size();
+  std::vector<std::vector<Slot>> slots(threads, std::vector<Slot>(phases));
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      pin_current_thread(pin, tid);
+      typename Tm::ThreadCtx ctx(tm);
+      Xoshiro256 rng(0x853c49e6748fea9bull ^ (static_cast<std::uint64_t>(tid) + 1) *
+                                                 0x9e3779b97f4a7c15ull);
+      while (!go.load(std::memory_order_acquire)) {
+        detail::cpu_relax();
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto total = std::chrono::duration<double>(total_seconds);
+      std::size_t cur = 0;
+      TxStats flushed;  // ctx.stats snapshot at the last phase transition
+      for (;;) {
+        const auto elapsed = std::chrono::steady_clock::now() - t0;
+        if (elapsed >= total) break;
+        const std::size_t idx = schedule.phase_at(
+            std::chrono::duration<double>(elapsed).count() / total_seconds);
+        if (idx != cur) {
+          slots[tid][cur].stats.merge(tx_stats_delta(ctx.stats, flushed));
+          flushed = ctx.stats;
+          cur = idx;
+        }
+        op(tm, ctx, rng, tid, idx, schedule.phase(idx));
+        ++slots[tid][idx].ops;
+      }
+      slots[tid][cur].stats.merge(tx_stats_delta(ctx.stats, flushed));
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+
+  PhasedResult r;
+  r.per_phase.resize(phases);
+  for (std::size_t i = 0; i < phases; ++i) {
+    r.per_phase[i].seconds = total_seconds * schedule.fraction(i);
+    for (unsigned tid = 0; tid < threads; ++tid) {
+      r.per_phase[i].total_ops += slots[tid][i].ops;
+      r.per_phase[i].stats.merge(slots[tid][i].stats);
+    }
+  }
+  return r;
+}
+
+}  // namespace rhtm
