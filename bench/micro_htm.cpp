@@ -5,6 +5,7 @@
 
 #include "registry.h"
 #include "stm/read_set.h"
+#include "stm/stripe_set.h"
 #include "stm/write_set.h"
 
 namespace rhtm::bench {
@@ -127,12 +128,30 @@ RHTM_SCENARIO(micro_htm, "— (A5)",
                      for (std::size_t i = 0; i < n; ++i) do_not_optimize(ws.find(cells[i]));
                    });
   }
-  {  // read-set append
+  {  // read-set append (exact-dedup path: every add probes the stripe set)
     ReadSet rs;
     time_primitive(table, opt, "read_set_add", 256, 256, [&] {
       rs.clear();
-      for (std::uint32_t i = 0; i < 256; ++i) rs.add(i, i);
+      for (std::uint32_t i = 0; i < 256; ++i) rs.add(i);
     });
+  }
+  {  // read-set append, duplicate-heavy (zipfian shape: re-reads are free)
+    ReadSet rs;
+    time_primitive(table, opt, "read_set_add_rereads", 256, 256, [&] {
+      rs.clear();
+      for (std::uint32_t i = 0; i < 256; ++i) rs.add((i * 7) & 15);
+    });
+  }
+  {  // stripe-set insert + contains (the commit pipeline's dedup primitive)
+    StripeSet ss;
+    time_primitive(table, opt, "stripe_set_insert_contains", 256,
+                   static_cast<double>(2 * 256), [&] {
+                     ss.clear();
+                     for (std::uint32_t i = 0; i < 256; ++i) ss.insert(i * 7);
+                     for (std::uint32_t i = 0; i < 256; ++i) {
+                       do_not_optimize(ss.contains(i * 7));
+                     }
+                   });
   }
   return rep;
 }

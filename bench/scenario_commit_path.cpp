@@ -1,0 +1,196 @@
+// Extension scenario — the commit pipeline under the microscope. Sweeps the
+// write-set size per protocol and reports, for each point, the nanoseconds
+// spent in the commit machinery (time inside atomically() minus time inside
+// the body, cycle-attributed like fig2_breakdown) and the capacity-abort
+// rate of the hardware commit transactions.
+//
+// The body is deliberately hostile to naive footprint accounting: reads are
+// zipfian re-reads of a small hot set (the hashtable/zipfian access shape),
+// so a read-set that logs duplicate stripes inflates the RH1 reduced
+// commit's hardware footprint with work that validates nothing — exactly
+// the instrumentation-cost axis Alistarh et al. and Brown & Ravi identify.
+// The before/after BENCH_commit_path.json diff of the stripe-dedup overhaul
+// is cited in docs/BENCHMARKS.md.
+
+#include <chrono>
+
+#include "registry.h"
+#include "workloads/zipf.h"
+
+namespace rhtm::bench {
+namespace {
+
+constexpr std::size_t kReadCells = 256;   ///< hot read set (zipfian re-read target)
+constexpr std::size_t kMaxWrites = 1024;  ///< distinct cells the largest point writes
+constexpr double kZipfTheta = 0.99;       ///< YCSB-default skew
+constexpr std::size_t kHtmBudget = 512;   ///< read AND write budget, in tracked entries
+constexpr unsigned kSweepThreads = 2;     ///< table 2's fixed thread count
+
+const std::size_t kWriteSizes[] = {4, 16, 64, 128, 256, 1024};
+
+[[nodiscard]] UniverseConfig commit_path_universe_config() {
+  UniverseConfig ucfg;
+  ucfg.htm.max_read_set = kHtmBudget;
+  ucfg.htm.max_write_set = kHtmBudget;
+  ucfg.htm.line_shift = 3;  // one word per HTM line: exact entry accounting
+  return ucfg;
+}
+
+/// One transaction: 2W zipfian reads of the hot set (duplicate-stripe
+/// heavy), then W distinct-cell writes.
+template <class Tx>
+void commit_path_body(Tx& tx, const std::vector<TVar<TmWord>>& reads,
+                      const std::vector<TVar<TmWord>>& writes, const ZipfianGenerator& zipf,
+                      Xoshiro256& rng, std::size_t w) {
+  TmWord sum = 0;
+  for (std::size_t i = 0; i < 2 * w; ++i) {
+    sum += reads[zipf.next(rng)].read(tx);
+  }
+  for (std::size_t i = 0; i < w; ++i) {
+    writes[i].write(tx, sum + i);
+  }
+  do_not_optimize(sum);
+}
+
+/// Single-thread timed window for one (series, W) point: wall-clock ns per
+/// transaction, the commit share of it (cycle-attributed), and the
+/// capacity-abort rate over all hardware commit attempts in the window.
+template <class Tm>
+void time_commit_point(report::SeriesData& series, Tm& tm, double seconds,
+                       const std::vector<TVar<TmWord>>& reads,
+                       const std::vector<TVar<TmWord>>& writes,
+                       const ZipfianGenerator& zipf, std::size_t w) {
+  using clock = std::chrono::steady_clock;
+  typename Tm::ThreadCtx ctx(tm);
+  ctx.stats.timing = true;
+  Xoshiro256 rng(0x5851f42d4c957f2dull ^ w);
+  std::uint64_t body_cycles = 0;
+  const auto one_tx = [&] {
+    tm.atomically(ctx, [&](auto& tx) {
+      const std::uint64_t b0 = rdtsc();
+      commit_path_body(tx, reads, writes, zipf, rng, w);
+      body_cycles += rdtsc() - b0;
+    });
+  };
+  one_tx();  // warm-up (first-touch, lazy growth)
+  const TxStats before = ctx.stats;
+  body_cycles = 0;
+  std::uint64_t ops = 0;
+  const auto t0 = clock::now();
+  const std::uint64_t c0 = rdtsc();
+  const auto deadline = t0 + std::chrono::duration<double>(seconds);
+  auto now = t0;
+  do {
+    one_tx();
+    ++ops;
+    now = clock::now();
+  } while (now < deadline);
+  const std::uint64_t total_cycles = rdtsc() - c0;
+  const double wall_ns = std::chrono::duration<double, std::nano>(now - t0).count();
+
+  const TxStats d = tx_stats_delta(ctx.stats, before);
+  const std::uint64_t commit_cycles =
+      d.tx_cycles > body_cycles ? d.tx_cycles - body_cycles : 0;
+  std::uint64_t attempts = 0;
+  for (const std::uint64_t a : d.attempts_by_path) attempts += a;
+  const double capacity_aborts = static_cast<double>(
+      d.aborts_by_cause[static_cast<std::size_t>(AbortCause::kHtmCapacity)]);
+
+  report::Point& p = series.add_point(static_cast<double>(w));
+  const double per_op = ops > 0 ? wall_ns / static_cast<double>(ops) : 0.0;
+  const double commit_share =
+      total_cycles > 0
+          ? static_cast<double>(commit_cycles) / static_cast<double>(total_cycles)
+          : 0.0;
+  p.set("commit_ns", per_op * commit_share);
+  p.set("tx_ns", per_op);
+  p.set("capacity_abort_rate",
+        attempts > 0 ? capacity_aborts / static_cast<double>(attempts) : 0.0);
+  const double commits = static_cast<double>(d.commits);
+  const auto pct = [&](ExecPath path) {
+    return commits > 0
+               ? 100.0 * static_cast<double>(
+                             d.commits_by_path[static_cast<std::size_t>(path)]) / commits
+               : 0.0;
+  };
+  p.set("rh1_slow_pct", pct(ExecPath::kRh1Slow));
+  p.set("rh2_pct", pct(ExecPath::kRh2Slow));
+  p.set("slow_slow_pct", pct(ExecPath::kRh2SlowSlow));
+}
+
+template <class H>
+void run_commit_path(const Options& opt, report::BenchReport& rep) {
+  std::vector<TVar<TmWord>> reads(kReadCells);
+  std::vector<TVar<TmWord>> writes(kMaxWrites);
+  const ZipfianGenerator zipf(kReadCells, kZipfTheta);
+
+  // ---- table 1: single-thread commit latency + escalation ----------------
+  TmUniverse<H> universe(commit_path_universe_config());
+  report::TableData& lat = rep.add_table(
+      "Commit-path cost vs write-set size (2W zipfian re-reads, HTM budget=" +
+          std::to_string(kHtmBudget) + " entries, 1 thread, substrate=" +
+          std::string(opt.substrate_name()) + ")",
+      report::TableStyle::kWide, "writes", "commit_ns");
+  report::SeriesData& tl2_series = lat.add_series("TL2");
+  report::SeriesData& rh1_series = lat.add_series("RH1-Slow");
+  report::SeriesData& rh2_series = lat.add_series("RH2");
+  for (const std::size_t w : kWriteSizes) {
+    {
+      Tl2<H> tm(universe);
+      time_commit_point(tl2_series, tm, opt.seconds, reads, writes, zipf, w);
+    }
+    {
+      typename HybridTm<H>::Config cfg;
+      cfg.force_slow_path = true;  // software body + reduced hardware commit
+      HybridTm<H> tm(universe, cfg);
+      time_commit_point(rh1_series, tm, opt.seconds, reads, writes, zipf, w);
+    }
+    {
+      typename HybridTm<H>::Config cfg;
+      cfg.force_rh2 = true;  // visible reads + write-set-only hardware commit
+      HybridTm<H> tm(universe, cfg);
+      time_commit_point(rh2_series, tm, opt.seconds, reads, writes, zipf, w);
+    }
+  }
+
+  // ---- table 2: throughput sweep over W (gate-visible RH1-Fast/TL2) ------
+  TmUniverse<H> sweep_universe(commit_path_universe_config());
+  report::TableData& thr = rep.add_table(
+      "Commit-path throughput vs write-set size (" + std::to_string(kSweepThreads) +
+          " threads, substrate=" + std::string(opt.substrate_name()) + ")",
+      report::TableStyle::kSweep, "writes", "total_ops");
+  report::SeriesData& thr_tl2 = thr.add_series("TL2");
+  report::SeriesData& thr_fast = thr.add_series("RH1-Fast");
+  report::SeriesData& thr_mix = thr.add_series("RH1-Mix100");
+  for (const std::size_t w : kWriteSizes) {
+    auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
+      tm.atomically(ctx,
+                    [&](auto& tx) { commit_path_body(tx, reads, writes, zipf, rng, w); });
+    };
+    const auto [inject_bp, tl2_result] =
+        calibrate_tl2(sweep_universe, kSweepThreads, opt.calib_seconds, op, opt.pin);
+    fill_point(thr_tl2.add_point(static_cast<double>(w)), tl2_result);
+    fill_point(thr_fast.add_point(static_cast<double>(w)),
+               run_series_point(sweep_universe, Series::kRh1Fast, kSweepThreads,
+                                opt.seconds, inject_bp, op, opt.pin));
+    fill_point(thr_mix.add_point(static_cast<double>(w)),
+               run_series_point(sweep_universe, Series::kRh1Mix100, kSweepThreads,
+                                opt.seconds, inject_bp, op, opt.pin));
+  }
+}
+
+}  // namespace
+
+RHTM_SCENARIO(commit_path, "§2.1 (extension)",
+              "commit pipeline: commit-ns + capacity-abort rate vs write-set size") {
+  report::BenchReport rep;
+  rep.substrate = opt.substrate_name();
+  rep.set_meta("workload", "zipfian re-reads + distinct writes");
+  rep.set_meta("read_cells", std::to_string(kReadCells));
+  rep.set_meta("zipf_theta", std::to_string(kZipfTheta).substr(0, 4));
+  rep.set_meta("htm_budget_entries", std::to_string(kHtmBudget));
+  dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { run_commit_path<H>(opt, rep); });
+  return rep;
+}
+
+}  // namespace rhtm::bench

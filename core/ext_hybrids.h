@@ -89,11 +89,18 @@ class HybridNorec {
           snapshot = tm.revalidate(ctx);
           continue;
         }
-        ctx.read_log_.push_back({&c, val});
+        // Consecutive re-reads of the same cell add nothing to value-based
+        // revalidation (an unchanged seq snapshot pins the value), so the
+        // log — like the stripe-indexed sets — only grows on new
+        // observations. Prefix-scan shapes no longer quadruple it.
+        if (ctx.read_log_.empty() || ctx.read_log_.back().first != &c) {
+          ctx.read_log_.push_back({&c, val});
+        }
         return val;
       }
     }
 
+    // NOrec has no stripe metadata; the write-set's stripe field is unused.
     void store(TmCell& c, TmWord v) { ctx.ws_.put(c, v, 0); }
   };
 

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/tl2.h"
+#include "stm/stripe_set.h"
 
 namespace rhtm {
 
@@ -71,9 +72,9 @@ class HybridTm {
     Xoshiro256 rng_;
     ReadSet rs_;
     WriteSet ws_;
-    std::vector<std::uint32_t> fast_written_;
+    StripeSet fast_written_;  ///< distinct stripes the fast path stamps
     std::vector<std::uint32_t> lock_scratch_;
-    std::vector<std::uint32_t> masks_;  ///< stripes with our RH2 read mask published
+    StripeSet masks_;  ///< stripes with our RH2 read mask published (O(1) self test)
     unsigned adaptive_streak = 0;
     unsigned adaptive_since_probe = 0;
   };
@@ -88,11 +89,13 @@ class HybridTm {
 
  private:
   // ---------------------------------------------------------------- fast --
-  /// Uninstrumented reads; writes = data store + stripe bookkeeping.
+  /// Uninstrumented reads; writes = data store + stripe bookkeeping. The
+  /// written-stripe record is exactly deduplicated, so the commit point
+  /// stamps each stripe once however the body's stores interleave.
   struct FastHandle {
     typename H::Tx& t;
     StripeTable& st;
-    std::vector<std::uint32_t>& written;
+    StripeSet& written;
 
     TmWord load(const TmCell& c) { return t.load(c); }
 
@@ -100,9 +103,7 @@ class HybridTm {
       const std::size_t s = st.index_of(&c);
       if (StripeTable::is_locked(t.load(st.word(s)))) t.abort_explicit();
       t.store(c, v);
-      if (written.empty() || written.back() != s) {
-        written.push_back(static_cast<std::uint32_t>(s));
-      }
+      written.insert(static_cast<std::uint32_t>(s));
     }
   };
 
@@ -155,18 +156,19 @@ class HybridTm {
     }
   }
 
-  /// Commit-point publication for the fast path: fresh clock, stripe
-  /// stamps, and — only while RH2 readers exist — mask checks.
-  void fast_commit_stamp(typename H::Tx& t, const std::vector<std::uint32_t>& written) {
+  /// Commit-point publication for the fast path: fresh clock, one stamp
+  /// per distinct written stripe, and — only while RH2 readers exist —
+  /// mask checks.
+  void fast_commit_stamp(typename H::Tx& t, const StripeSet& written) {
     if (written.empty()) return;
     if (t.load(rh2_active_) != 0) {
-      for (const std::uint32_t s : written) {
+      for (const std::uint32_t s : written.items()) {
         if (t.load(u_.stripes().read_mask(s)) != 0) t.abort_explicit();
       }
     }
     const TmWord wv = t.load(u_.clock().cell()) + 1;
     if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
-    for (const std::uint32_t s : written) {
+    for (const std::uint32_t s : written.items()) {
       t.store(u_.stripes().word(s), StripeTable::make_word(wv));
     }
   }
@@ -238,14 +240,20 @@ class HybridTm {
   /// write-set publication in one short HTM transaction. Returns false when
   /// the commit transaction cannot fit in hardware (escalate to RH2);
   /// throws StmAbort when validation fails (retry the whole transaction).
+  ///
+  /// Both metadata loops run over exact-deduped stripe views (the ReadSet
+  /// logs each stripe once, the WriteSet keeps a distinct-stripe list), so
+  /// the transaction's hardware footprint is proportional to the DISTINCT
+  /// stripe count of the transaction — re-reading a hot stripe a hundred
+  /// times costs one commit-time load, not a hundred.
   bool rh1_reduced_commit(ThreadCtx& ctx, TmWord rv) {
     if (ctx.ws_.empty()) return true;  // read-only: access-time validation suffices
     StripeTable& st = u_.stripes();
     unsigned tries = 0;
     for (;;) {
       const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
-        for (const ReadEntry& e : ctx.rs_.entries()) {
-          const TmWord w = t.load(st.word(e.stripe));
+        for (const std::uint32_t s : ctx.rs_.stripes()) {  // distinct by construction
+          const TmWord w = t.load(st.word(s));
           if (StripeTable::is_locked(w) || StripeTable::version_of(w) > rv) {
             t.abort_explicit();
           }
@@ -254,18 +262,23 @@ class HybridTm {
         const TmWord wv = t.load(u_.clock().cell()) + 1;
         if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
         const TmWord stamped = StripeTable::make_word(wv);
+        for (const std::uint32_t s : ctx.ws_.write_stripes()) {  // one stamp per stripe
+          if (StripeTable::is_locked(t.load(st.word(s)))) t.abort_explicit();
+          if (check_masks && t.load(st.read_mask(s)) != 0) t.abort_explicit();
+          t.store(st.word(s), stamped);
+        }
         for (const WriteEntry& e : ctx.ws_.entries()) {
-          const TmWord w = t.load(st.word(e.stripe));
-          if (w != stamped) {  // a stripe this commit already stamped is settled
-            if (StripeTable::is_locked(w)) t.abort_explicit();
-            if (check_masks && t.load(st.read_mask(e.stripe)) != 0) t.abort_explicit();
-            t.store(st.word(e.stripe), stamped);
-          }
           t.store(*e.cell, e.value);
         }
       });
       if (out.ok()) return true;
-      if (out.status == HtmStatus::kCapacity) return false;
+      if (out.status == HtmStatus::kCapacity) {
+        // The reduced commit itself overflowed hardware; the transaction
+        // re-executes with visible reads (RH2), so this is a real abort —
+        // count it, or capacity escalation is invisible in every report.
+        ctx.stats.count_abort(AbortCause::kHtmCapacity);
+        return false;
+      }
       if (out.status == HtmStatus::kExplicit || ++tries >= cfg_.commit_retries) {
         throw detail::StmAbort{AbortCause::kStmValidation};
       }
@@ -286,23 +299,29 @@ class HybridTm {
         const TmWord wv = t.load(u_.clock().cell()) + 1;
         if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
         const TmWord stamped = StripeTable::make_word(wv);
-        for (const WriteEntry& e : ctx.ws_.entries()) {
-          const TmWord w = t.load(st.word(e.stripe));
-          if (w != stamped) {  // a stripe this commit already stamped is settled
-            if (StripeTable::is_locked(w) || StripeTable::version_of(w) > rv) {
-              t.abort_explicit();
-            }
-            if (t.load(st.read_mask(e.stripe)) > self_mask(ctx, e.stripe)) {
-              t.abort_explicit();  // a foreign visible reader holds this stripe
-            }
-            t.store(st.word(e.stripe), stamped);
+        for (const std::uint32_t s : ctx.ws_.write_stripes()) {  // one check+stamp each
+          const TmWord w = t.load(st.word(s));
+          if (StripeTable::is_locked(w) || StripeTable::version_of(w) > rv) {
+            t.abort_explicit();
           }
+          if (t.load(st.read_mask(s)) > self_mask(ctx, s)) {
+            t.abort_explicit();  // a foreign visible reader holds this stripe
+          }
+          t.store(st.word(s), stamped);
+        }
+        for (const WriteEntry& e : ctx.ws_.entries()) {
           t.store(*e.cell, e.value);
         }
       });
       if (out.ok()) return ExecPath::kRh2Slow;
       if (out.status == HtmStatus::kExplicit) throw detail::StmAbort{AbortCause::kStmValidation};
       if (out.status == HtmStatus::kCapacity || ++tries >= cfg_.commit_retries) {
+        if (out.status == HtmStatus::kCapacity) {
+          // Same observability rule as the reduced commit: the hardware
+          // commit overflowed, and escalation must be visible in reports
+          // even though the slow-slow commit completes this same attempt.
+          ctx.stats.count_abort(AbortCause::kHtmCapacity);
+        }
         detail::tl2_software_commit(u_, ctx.rs_, ctx.ws_, rv, ctx.lock_scratch_, &ctx.masks_);
         return ExecPath::kRh2SlowSlow;
       }
@@ -311,24 +330,18 @@ class HybridTm {
   }
 
   void publish_once(ThreadCtx& ctx, std::uint32_t stripe) {
-    for (const std::uint32_t s : ctx.masks_) {
-      if (s == stripe) return;
-    }
-    u_.stripes().publish_read(stripe);
-    ctx.masks_.push_back(stripe);
+    if (ctx.masks_.insert(stripe)) u_.stripes().publish_read(stripe);
   }
 
   void unpublish_all(ThreadCtx& ctx) {
-    for (const std::uint32_t s : ctx.masks_) u_.stripes().unpublish_read(s);
+    for (const std::uint32_t s : ctx.masks_.items()) u_.stripes().unpublish_read(s);
     ctx.masks_.clear();
   }
 
   /// 1 when this transaction published a read mask on `stripe`, else 0.
+  /// O(1): the mask set is an exact stripe set, not a scanned list.
   [[nodiscard]] TmWord self_mask(const ThreadCtx& ctx, std::uint32_t stripe) const {
-    for (const std::uint32_t s : ctx.masks_) {
-      if (s == stripe) return 1;
-    }
-    return 0;
+    return ctx.masks_.contains(stripe) ? 1 : 0;
   }
 
   TmUniverse<H>& u_;

@@ -16,6 +16,7 @@
 
 #include "core/htm_only.h"
 #include "core/tl2.h"
+#include "stm/stripe_set.h"
 
 namespace rhtm {
 
@@ -41,7 +42,7 @@ class StandardHytm {
     ReadSet rs_;
     WriteSet ws_;
     std::vector<std::uint32_t> lock_scratch_;
-    std::vector<std::uint32_t> hw_written_;
+    StripeSet hw_written_;  ///< distinct stripes the hardware path stamps
   };
 
   explicit StandardHytm(TmUniverse<H>& u, Config cfg = {})
@@ -54,11 +55,12 @@ class StandardHytm {
 
  private:
   /// The instrumented hardware handle: metadata load + locked-check on every
-  /// access; writes record their stripe for commit-time publication.
+  /// access; writes record their stripe (exactly deduplicated) for
+  /// commit-time publication.
   struct HwHandle {
     typename H::Tx& t;
     StripeTable& st;
-    std::vector<std::uint32_t>& written;
+    StripeSet& written;
 
     TmWord load(const TmCell& c) {
       const std::size_t s = st.index_of(&c);
@@ -69,9 +71,7 @@ class StandardHytm {
       const std::size_t s = st.index_of(&c);
       if (StripeTable::is_locked(t.load(st.word(s)))) t.abort_explicit();
       t.store(c, v);
-      if (written.empty() || written.back() != s) {
-        written.push_back(static_cast<std::uint32_t>(s));
-      }
+      written.insert(static_cast<std::uint32_t>(s));
     }
   };
 
@@ -109,12 +109,12 @@ class StandardHytm {
 
   /// Commit-point stamping: re-read the clock inside the transaction so the
   /// published version is provably newer than any concurrent software
-  /// reader's read-version, then publish every written stripe.
-  void publish_stamps(typename H::Tx& t, const std::vector<std::uint32_t>& written) {
+  /// reader's read-version, then publish every written stripe exactly once.
+  void publish_stamps(typename H::Tx& t, const StripeSet& written) {
     if (written.empty()) return;
     const TmWord wv = t.load(u_.clock().cell()) + 1;
     if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
-    for (const std::uint32_t s : written) {
+    for (const std::uint32_t s : written.items()) {
       t.store(u_.stripes().word(s), StripeTable::make_word(wv));
     }
   }

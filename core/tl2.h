@@ -6,6 +6,7 @@
 // abort ratio is injected into the hardware-mode series. StandardHytm's
 // software fallback and PhasedTm's software phase reuse detail::tl2_run.
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "core/stats.h"
 #include "core/universe.h"
 #include "stm/read_set.h"
+#include "stm/stripe_set.h"
 #include "stm/write_set.h"
 
 namespace rhtm {
@@ -48,7 +50,7 @@ inline TmWord stripe_validated_read(TmUniverse<H>& u, const TmCell& c, std::size
     if (w1 != w2 || StripeTable::version_of(w1) > rv) {
       throw StmAbort{AbortCause::kStmValidation};
     }
-    rs.add(static_cast<std::uint32_t>(s), StripeTable::version_of(w1));
+    rs.add(static_cast<std::uint32_t>(s));
     return val;
   }
 }
@@ -72,47 +74,44 @@ struct Tl2Handle {
   }
 };
 
-/// The all-software TL2 commit: lock the write stripes, fetch a write
-/// version, revalidate the read-set, write back, release to the new
-/// version. Throws StmAbort with locks released on any failure.
+/// The all-software TL2 commit: lock the write stripes (deduplicated and
+/// sorted), fetch a write version, revalidate the read-set, write back,
+/// release to the new version. Throws StmAbort with locks released on any
+/// failure.
 ///
-/// `self_read_stripes`, when non-null, lists the stripes on which the
+/// The lock list is the write-set's exact deduped stripe view, sorted into
+/// canonical order — every committer acquires in the same global order, so
+/// two overlapping commits cannot each hold half of the other's stripes
+/// and livelock. "Is this stripe mine?" during read validation is an O(1)
+/// `wrote_stripe` probe; the old per-entry linear scan made large commits
+/// O(W^2).
+///
+/// `self_read_masks`, when non-null, is the set of stripes on which the
 /// committing transaction itself published an RH2 read mask; the commit
 /// then refuses to overwrite a stripe that carries any *other* visible
 /// reader (the RH2 slow-slow path's obligation).
 template <class H>
 inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmWord rv,
                                 std::vector<std::uint32_t>& locked,
-                                const std::vector<std::uint32_t>* self_read_stripes = nullptr) {
+                                const StripeSet* self_read_masks = nullptr) {
   if (ws.empty()) return;  // read-only: post-validated reads suffice
   StripeTable& st = u.stripes();
-  locked.clear();
+  locked = ws.write_stripes();  // deduped; assign reuses the scratch capacity
+  std::sort(locked.begin(), locked.end());
+  std::size_t acquired = 0;
   const auto release_restore = [&] {
-    for (const std::uint32_t s : locked) st.unlock_restore(s);
+    for (std::size_t i = 0; i < acquired; ++i) st.unlock_restore(locked[i]);
   };
-  const auto is_self = [&](std::uint32_t s) {
-    for (const std::uint32_t l : locked) {
-      if (l == s) return true;
-    }
-    return false;
-  };
-  for (const WriteEntry& e : ws.entries()) {
-    if (is_self(e.stripe)) continue;
-    if (!st.try_lock(e.stripe)) {
+  for (; acquired < locked.size(); ++acquired) {
+    if (!st.try_lock(locked[acquired])) {
       release_restore();
       throw StmAbort{AbortCause::kStmLocked};
     }
-    locked.push_back(e.stripe);
   }
-  if (self_read_stripes != nullptr) {
+  if (self_read_masks != nullptr) {
     for (const std::uint32_t s : locked) {
-      TmWord self = 0;
-      for (const std::uint32_t rs_stripe : *self_read_stripes) {
-        if (rs_stripe == s) {
-          self = 1;  // publish_once guarantees one mask per stripe
-          break;
-        }
-      }
+      // publish_once guarantees at most one own mask per stripe.
+      const TmWord self = self_read_masks->contains(s) ? 1 : 0;
       if (st.readers(s) > self) {
         release_restore();
         throw StmAbort{AbortCause::kStmLocked};
@@ -120,6 +119,7 @@ inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmW
     }
   }
   const TmWord wv = u.clock().next();
+  const auto is_self = [&](std::uint32_t s) { return ws.wrote_stripe(s); };
   if (!rs.validate(st, rv, is_self)) {
     release_restore();
     throw StmAbort{AbortCause::kStmValidation};

@@ -110,9 +110,29 @@ def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout)
         for title in sorted(old_titles - new_titles):
             print(f"  {name} | {title}: table removed (present in baseline only)", file=out)
         old_ratios = {(t, x): r for t, x, r in ratios(old_report, numerator, denominator)}
+        new_keys = set()
         for title, x, new_ratio in ratios(new_report, numerator, denominator):
+            new_keys.add((title, x))
             old_ratio = old_ratios.get((title, x))
-            if old_ratio is None or old_ratio <= 0:
+            if old_ratio is None:
+                # Whole-table novelty is already reported above; only a point
+                # missing from a table both runs share needs its own line.
+                if title in old_titles:
+                    print(
+                        f"  {name} | {title} | x={x}: new point "
+                        f"(no baseline ratio, ungated this run)",
+                        file=out,
+                    )
+                continue
+            if old_ratio <= 0:
+                # ratios() only emits positive quotients today, but a skip
+                # here must never be silent: a nonpositive baseline would
+                # otherwise un-gate the point without a trace.
+                print(
+                    f"  {name} | {title} | x={x}: baseline ratio "
+                    f"{old_ratio:.3f} <= 0 is not gateable; skipping",
+                    file=out,
+                )
                 continue
             compared += 1
             change = new_ratio / old_ratio
@@ -126,6 +146,16 @@ def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout)
                 f"({change:.2f}x){marker}",
                 file=out,
             )
+        # The symmetric direction: a point the baseline gated that the
+        # current run no longer produces (trimmed sweep, series gone
+        # nonpositive). Whole-table removals are already reported above.
+        for title, x in sorted(old_ratios.keys() - new_keys, key=str):
+            if title in new_titles:
+                print(
+                    f"  {name} | {title} | x={x}: point removed "
+                    f"(present in baseline only, nothing to gate)",
+                    file=out,
+                )
     return compared, regressions
 
 
@@ -219,6 +249,37 @@ def self_test():
         assert "BENCH_fresh_scenario.json: new report" in text, text
         assert "brand-new table: new table" in text, text
         assert "retired table: table removed" in text, text
+
+        # A point present only in the current run of a table BOTH runs share
+        # must surface as an explicit "new point" info line (never silently
+        # skipped), and must not count as compared.
+        sparse_old = os.path.join(tmp, "sparse_old")
+        os.mkdir(sparse_old)
+        trimmed = report(rh1=500, tl2=100)
+        for series in trimmed["tables"][0]["series"]:
+            series["points"] = [p for p in series["points"] if p["x"] != 4]
+        with open(os.path.join(sparse_old, "BENCH_fig1_rbtree.json"), "w") as f:
+            json.dump(trimmed, f)
+        log = io.StringIO()
+        compared, regressions = compare(sparse_old, ok_dir, "RH1-Fast", "TL2", 0.25, log)
+        assert compared == 2, compared
+        assert not regressions, regressions
+        text = log.getvalue()
+        assert "x=4: new point (no baseline ratio" in text, text
+
+        # ... and the symmetric direction: a point the BASELINE had that the
+        # current run dropped must surface as "point removed", never shrink
+        # the gated set silently.
+        sparse_new = os.path.join(tmp, "sparse_new")
+        os.mkdir(sparse_new)
+        with open(os.path.join(sparse_new, "BENCH_fig1_rbtree.json"), "w") as f:
+            json.dump(trimmed, f)
+        log = io.StringIO()
+        compared, regressions = compare(old_dir, sparse_new, "RH1-Fast", "TL2", 0.25, log)
+        assert compared == 2, compared
+        assert not regressions, regressions
+        text = log.getvalue()
+        assert "x=4: point removed (present in baseline only" in text, text
     print("self-test passed")
     return 0
 

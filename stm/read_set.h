@@ -1,11 +1,21 @@
 #pragma once
 
-// TL2-style read-set: the list of stripe indices (plus the version observed
-// at read time) a software transaction must revalidate at commit. Reads are
-// post-validated at access time, so commit-time validation only has to
-// re-check the stripes — it never touches the data words, which is what
-// gives the RH1 reduced commit its ~4x capacity headroom over the fast path
-// (one stripe word per granule of data).
+// TL2-style read-set: the distinct stripe indices a software transaction
+// must revalidate at commit. Reads are post-validated at access time, so
+// commit-time validation only has to re-check the stripes — it never
+// touches the data words, which is what gives the RH1 reduced commit its
+// ~4x capacity headroom over the fast path (one stripe word per granule
+// of data).
+//
+// The set is EXACTLY deduplicated (a thin wrapper over StripeSet): each
+// read stripe is logged once no matter how often the transaction re-reads
+// it, and an entry is just the 4-byte stripe index. Both properties keep
+// the reduced hardware commit's footprint proportional to the *distinct*
+// stripe count — zipfian/hashtable re-read patterns used to log the same
+// hot stripe hundreds of times (and carry a dead observed-version word
+// per entry), overflowing the commit transaction's budget with work that
+// validates nothing: validate() re-checks the *current* stripe word
+// against the transaction's read-version, so only membership matters.
 
 #include <cstddef>
 #include <cstdint>
@@ -13,38 +23,33 @@
 
 #include "core/cell.h"
 #include "core/stripe.h"
+#include "stm/stripe_set.h"
 
 namespace rhtm {
 
-struct ReadEntry {
-  std::uint32_t stripe;
-  TmWord version;
-};
-
 class ReadSet {
  public:
-  void clear() { entries_.clear(); }
+  void clear() { seen_.clear(); }
 
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] const std::vector<ReadEntry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return seen_.empty(); }
+  [[nodiscard]] std::size_t size() const { return seen_.size(); }
 
-  /// Record a validated read of `stripe` at `version`. Consecutive reads of
-  /// the same stripe (linear scans) are deduplicated for free.
-  void add(std::uint32_t stripe, TmWord version) {
-    if (!entries_.empty() && entries_.back().stripe == stripe) return;
-    entries_.push_back({stripe, version});
-  }
+  /// The distinct read stripes, in first-read order.
+  [[nodiscard]] const std::vector<std::uint32_t>& stripes() const { return seen_.items(); }
+
+  /// Record a validated read of `stripe`. Exact dedup: re-reads are free.
+  void add(std::uint32_t stripe) { seen_.insert(stripe); }
 
   /// Software revalidation: every read stripe must be unlocked and still at
   /// a version no newer than the transaction's read-version `rv`. A stripe
   /// locked by the committing transaction itself is admitted via
-  /// `self_locked(stripe)`.
+  /// `self_locked(stripe)`. Entries are distinct, so each stripe word is
+  /// visited exactly once.
   template <class SelfLocked>
   [[nodiscard]] bool validate(StripeTable& stripes, TmWord rv, SelfLocked&& self_locked) const {
-    for (const ReadEntry& e : entries_) {
-      const TmWord w = stripes.word(e.stripe).word.load(std::memory_order_acquire);
-      if (StripeTable::is_locked(w) && !self_locked(e.stripe)) return false;
+    for (const std::uint32_t s : seen_.items()) {
+      const TmWord w = stripes.word(s).word.load(std::memory_order_acquire);
+      if (StripeTable::is_locked(w) && !self_locked(s)) return false;
       if (StripeTable::version_of(w) > rv) return false;
     }
     return true;
@@ -55,7 +60,7 @@ class ReadSet {
   }
 
  private:
-  std::vector<ReadEntry> entries_;
+  StripeSet seen_;
 };
 
 }  // namespace rhtm

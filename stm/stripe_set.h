@@ -1,0 +1,107 @@
+#pragma once
+
+// StripeSet — an epoch-stamped exact membership set over stripe indices,
+// the deduplication primitive of the commit pipeline. One open-addressed
+// probe per insert/contains (O(1) amortized), O(1) clear via an epoch bump
+// (no per-transaction table sweep), and an insertion-ordered list of the
+// distinct members for iteration.
+//
+// Three commit-path consumers share it:
+//   * ReadSet logs each read stripe exactly once, so the RH1 reduced commit
+//     revalidates every stripe once — zipfian/hashtable re-read patterns no
+//     longer inflate the hardware commit's footprint with duplicates;
+//   * WriteSet maintains the unique write-stripe view the RH1/RH2 hardware
+//     commits stamp and the TL2/slow-slow commit locks (sorted);
+//   * HybridTm's RH2 mask bookkeeping answers "did I publish a read mask on
+//     this stripe?" in O(1) instead of a linear scan.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rhtm {
+
+class StripeSet {
+ public:
+  explicit StripeSet(std::size_t initial_slots = kInitialSlots)
+      : slots_(pow2_at_least(initial_slots)), epochs_(slots_.size(), 0) {}
+
+  /// Forget every member. O(1): bumps the epoch; slots invalidate lazily.
+  void clear() {
+    items_.clear();
+    ++epoch_;
+    if (epoch_ == 0) {  // epoch wrapped: hard reset
+      std::vector<std::uint32_t>(epochs_.size(), 0).swap(epochs_);
+      epoch_ = 1;
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  /// Distinct members in first-insertion order.
+  [[nodiscard]] const std::vector<std::uint32_t>& items() const { return items_; }
+
+  /// Adds `stripe`; returns true when it was not yet a member.
+  bool insert(std::uint32_t stripe) {
+    if (items_.size() * 4 >= slots_.size() * 3) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(stripe) & mask;
+    while (epochs_[i] == epoch_) {
+      if (slots_[i] == stripe) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = stripe;
+    epochs_[i] = epoch_;
+    items_.push_back(stripe);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t stripe) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(stripe) & mask;
+    while (epochs_[i] == epoch_) {
+      if (slots_[i] == stripe) return true;
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 64;
+
+  static std::size_t pow2_at_least(std::size_t n) {
+    std::size_t p = 8;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  static std::size_t hash(std::uint32_t stripe) {
+    // Stripe indices are already table-hashed, but adjacent-granule scans
+    // produce runs of consecutive indices; multiplicative mixing keeps the
+    // probe sequences apart.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(stripe) + 1) * 0x9e3779b97f4a7c15ull >> 32);
+  }
+
+  void grow() {
+    const std::size_t n = slots_.size() * 2;
+    slots_.assign(n, 0);
+    epochs_.assign(n, 0);
+    epoch_ = 1;
+    const std::size_t mask = n - 1;
+    for (const std::uint32_t stripe : items_) {
+      std::size_t i = hash(stripe) & mask;
+      while (epochs_[i] == epoch_) i = (i + 1) & mask;
+      slots_[i] = stripe;
+      epochs_[i] = epoch_;
+    }
+  }
+
+  std::vector<std::uint32_t> items_;
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint32_t> epochs_;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace rhtm

@@ -5,6 +5,20 @@
 // for positive ones. The bloom filter admits false positives (resolved by
 // the exact index) but never false negatives — a lookup of a written cell
 // always finds its latest value.
+//
+// The filter is *blocked* and *size-adaptive*: an array of epoch-tagged
+// 64-bit words (32 filter bits + a 32-bit epoch tag each) that scales with
+// the slot table, so it keeps a low false-positive rate at any write-set
+// size. Its predecessor was one global 64-bit word, which saturated past
+// ~40 distinct cells and silently degraded every read-after-write miss to
+// a full probe loop. Each lookup touches exactly one filter word (one
+// cache line), and clearing stays O(1) via the epoch tags.
+//
+// The set also maintains the deduplicated stripe view of the log
+// (`write_stripes()` / `wrote_stripe()`): the unique stripes the commit
+// paths lock (TL2 / slow-slow, sorted) or stamp (RH1 reduced / RH2
+// hardware commits) — each stripe exactly once, however many entries
+// share it.
 
 #include <algorithm>
 #include <cstddef>
@@ -12,6 +26,7 @@
 #include <vector>
 
 #include "core/cell.h"
+#include "stm/stripe_set.h"
 
 namespace rhtm {
 
@@ -23,15 +38,19 @@ struct WriteEntry {
 
 class WriteSet {
  public:
-  WriteSet() : slot_cells_(kInitialSlots, nullptr), slot_idx_(kInitialSlots, 0),
-               slot_epoch_(kInitialSlots, 0) {}
+  WriteSet()
+      : bloom_(kInitialSlots / kSlotsPerBloomWord, 0),
+        slot_cells_(kInitialSlots, nullptr),
+        slot_idx_(kInitialSlots, 0),
+        slot_epoch_(kInitialSlots, 0) {}
 
   void clear() {
     entries_.clear();
-    bloom_ = 0;
+    stripes_.clear();
     ++epoch_;
-    if (epoch_ == 0) {
+    if (epoch_ == 0) {  // epoch wrapped: hard reset of every lazy tag
       std::fill(slot_epoch_.begin(), slot_epoch_.end(), 0);
+      std::fill(bloom_.begin(), bloom_.end(), 0);
       epoch_ = 1;
     }
   }
@@ -41,11 +60,20 @@ class WriteSet {
   [[nodiscard]] const std::vector<WriteEntry>& entries() const { return entries_; }
   [[nodiscard]] std::vector<WriteEntry>& entries() { return entries_; }
 
+  /// The distinct stripes of the log, in first-write order.
+  [[nodiscard]] const std::vector<std::uint32_t>& write_stripes() const {
+    return stripes_.items();
+  }
+  /// O(1): did this write-set touch `stripe`?
+  [[nodiscard]] bool wrote_stripe(std::uint32_t stripe) const {
+    return stripes_.contains(stripe);
+  }
+
   /// Insert or overwrite the buffered value for `cell`.
   void put(TmCell& cell, TmWord value, std::uint32_t stripe) {
     const std::uint64_t h = hash(&cell);
-    bloom_ |= bloom_bit(h);
     if (entries_.size() * 4 >= slot_cells_.size() * 3) grow();
+    bloom_set(h);  // after grow(), which rebuilds the filter from entries_
     const std::size_t mask = slot_cells_.size() - 1;
     std::size_t i = static_cast<std::size_t>(h) & mask;
     while (slot_epoch_[i] == epoch_) {
@@ -59,13 +87,14 @@ class WriteSet {
     slot_idx_[i] = static_cast<std::uint32_t>(entries_.size());
     slot_epoch_[i] = epoch_;
     entries_.push_back({&cell, value, stripe});
+    stripes_.insert(stripe);
   }
 
   /// Latest buffered entry for `cell`, or nullptr. The bloom check makes the
-  /// common miss (read of an unwritten cell) one AND + branch.
+  /// common miss (read of an unwritten cell) one load + AND + branch.
   [[nodiscard]] WriteEntry* find(const TmCell& cell) {
     const std::uint64_t h = hash(&cell);
-    if ((bloom_ & bloom_bit(h)) == 0) return nullptr;
+    if (!may_contain_hash(h)) return nullptr;
     const std::size_t mask = slot_cells_.size() - 1;
     std::size_t i = static_cast<std::size_t>(h) & mask;
     while (slot_epoch_[i] == epoch_) {
@@ -75,24 +104,56 @@ class WriteSet {
     return nullptr;
   }
 
+  /// The bloom verdict alone (no exact-index probe). Exposed so tests can
+  /// pin the filter's false-positive rate beyond the old 64-bit saturation
+  /// point; false negatives are a correctness bug at any size.
+  [[nodiscard]] bool may_contain(const TmCell& cell) const {
+    return may_contain_hash(hash(&cell));
+  }
+
  private:
   static constexpr std::size_t kInitialSlots = 1024;
+  /// One epoch-tagged 32-bit filter block per 4 slots: at the 3/4-load grow
+  /// threshold that is >= ~10 filter bits per distinct cell (2 set), which
+  /// keeps the false-positive rate in the low percent at every size.
+  static constexpr std::size_t kSlotsPerBloomWord = 4;
 
   static std::uint64_t hash(const TmCell* cell) {
     return (static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(cell)) >> 3) *
            0x9e3779b97f4a7c15ull >> 13;
   }
-  static std::uint64_t bloom_bit(std::uint64_t h) { return std::uint64_t{1} << (h & 63); }
+
+  // Filter-word layout: high 32 bits = epoch tag, low 32 = bloom bits. A
+  // stale tag reads as an all-zero block, so clear() never sweeps the array.
+  [[nodiscard]] std::size_t bloom_word(std::uint64_t h) const {
+    return static_cast<std::size_t>(h >> 12) & (bloom_.size() - 1);
+  }
+  static std::uint32_t bloom_bits(std::uint64_t h) {
+    return (std::uint32_t{1} << (h & 31)) | (std::uint32_t{1} << ((h >> 5) & 31));
+  }
+  void bloom_set(std::uint64_t h) {
+    std::uint64_t& w = bloom_[bloom_word(h)];
+    if ((w >> 32) != epoch_) w = static_cast<std::uint64_t>(epoch_) << 32;
+    w |= bloom_bits(h);
+  }
+  [[nodiscard]] bool may_contain_hash(std::uint64_t h) const {
+    const std::uint64_t w = bloom_[bloom_word(h)];
+    const std::uint32_t bits = bloom_bits(h);
+    return (w >> 32) == epoch_ && (static_cast<std::uint32_t>(w) & bits) == bits;
+  }
 
   void grow() {
     const std::size_t n = slot_cells_.size() * 2;
     slot_cells_.assign(n, nullptr);
     slot_idx_.assign(n, 0);
     slot_epoch_.assign(n, 0);
+    bloom_.assign(n / kSlotsPerBloomWord, 0);
     epoch_ = 1;
     const std::size_t mask = n - 1;
     for (std::size_t e = 0; e < entries_.size(); ++e) {
-      std::size_t i = static_cast<std::size_t>(hash(entries_[e].cell)) & mask;
+      const std::uint64_t h = hash(entries_[e].cell);
+      bloom_set(h);
+      std::size_t i = static_cast<std::size_t>(h) & mask;
       while (slot_epoch_[i] == epoch_) i = (i + 1) & mask;
       slot_cells_[i] = entries_[e].cell;
       slot_idx_[i] = static_cast<std::uint32_t>(e);
@@ -101,7 +162,8 @@ class WriteSet {
   }
 
   std::vector<WriteEntry> entries_;
-  std::uint64_t bloom_ = 0;
+  StripeSet stripes_;  ///< deduped stripe view of the log
+  std::vector<std::uint64_t> bloom_;
   std::vector<TmCell*> slot_cells_;
   std::vector<std::uint32_t> slot_idx_;
   std::vector<std::uint32_t> slot_epoch_;

@@ -1,0 +1,96 @@
+// StripeSet: exact dedup semantics (insert/contains/items), O(1) epoch
+// clears across many reuse rounds, growth keeping membership exact, and
+// agreement with a reference set under randomized operation streams.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/rng.h"
+#include "stm/stripe_set.h"
+#include "test_common.h"
+
+namespace rhtm {
+namespace {
+
+void insert_dedups_and_orders() {
+  StripeSet s;
+  CHECK(s.empty());
+  CHECK(s.insert(7));
+  CHECK(!s.insert(7));  // duplicate: rejected
+  CHECK(s.insert(3));
+  CHECK(s.insert(7000));
+  CHECK(!s.insert(3));
+  CHECK_EQ(s.size(), 3u);
+  CHECK(s.contains(7));
+  CHECK(s.contains(3));
+  CHECK(s.contains(7000));
+  CHECK(!s.contains(8));
+  // items() preserves first-insertion order — the commit paths rely on a
+  // deterministic iteration order for the stamped stripes.
+  const std::vector<std::uint32_t> expect = {7, 3, 7000};
+  CHECK(s.items() == expect);
+}
+
+void clear_is_cheap_and_complete() {
+  StripeSet s;
+  for (int round = 0; round < 10000; ++round) {  // far past any u8/u16 epoch
+    CHECK(s.insert(static_cast<std::uint32_t>(round)));
+    CHECK(s.insert(static_cast<std::uint32_t>(round) + 1));
+    CHECK_EQ(s.size(), 2u);
+    s.clear();
+    CHECK(s.empty());
+    CHECK(!s.contains(static_cast<std::uint32_t>(round)));
+  }
+}
+
+void growth_keeps_membership_exact() {
+  StripeSet s;
+  // Consecutive indices — the worst case for a multiplicative probe — well
+  // past the initial slot count, forcing several grow() rehashes.
+  for (std::uint32_t i = 0; i < 5000; ++i) CHECK(s.insert(i * 3));
+  CHECK_EQ(s.size(), 5000u);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    CHECK(s.contains(i * 3));
+    CHECK(!s.contains(i * 3 + 1));
+  }
+  // Still duplicates after growing.
+  for (std::uint32_t i = 0; i < 5000; ++i) CHECK(!s.insert(i * 3));
+  CHECK_EQ(s.size(), 5000u);
+}
+
+void randomized_against_reference() {
+  StripeSet s;
+  std::set<std::uint32_t> ref;
+  Xoshiro256 rng(99);
+  for (int round = 0; round < 50; ++round) {
+    s.clear();
+    ref.clear();
+    const int ops = 1 + static_cast<int>(rng.below(800));
+    for (int i = 0; i < ops; ++i) {
+      const auto stripe = static_cast<std::uint32_t>(rng.below(512));
+      const bool fresh = ref.insert(stripe).second;
+      CHECK_EQ(s.insert(stripe), fresh);
+    }
+    CHECK_EQ(s.size(), ref.size());
+    for (std::uint32_t probe = 0; probe < 512; ++probe) {
+      CHECK_EQ(s.contains(probe), ref.count(probe) == 1);
+    }
+    std::vector<std::uint32_t> sorted_items = s.items();
+    std::sort(sorted_items.begin(), sorted_items.end());
+    CHECK(std::equal(sorted_items.begin(), sorted_items.end(), ref.begin(), ref.end()));
+  }
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      TestCase{"insert_dedups_and_orders", rhtm::insert_dedups_and_orders},
+      TestCase{"clear_is_cheap_and_complete", rhtm::clear_is_cheap_and_complete},
+      TestCase{"growth_keeps_membership_exact", rhtm::growth_keeps_membership_exact},
+      TestCase{"randomized_against_reference", rhtm::randomized_against_reference},
+  });
+}

@@ -1,6 +1,11 @@
 // Write-set: the bloom filter must never produce a false negative, lookups
-// must return the latest buffered value, and clear() must actually forget.
+// must return the latest buffered value, clear() must actually forget, the
+// filter must stay selective far beyond the old single-word saturation
+// point (~40 distinct cells), growth must rehash exactly, and the deduped
+// stripe view must track the log.
 
+#include <map>
+#include <set>
 #include <vector>
 
 #include "core/rng.h"
@@ -85,6 +90,124 @@ void many_epochs_and_growth() {
   }
 }
 
+/// Past the old 64-bit filter's saturation point the bloom must still say
+/// "no" for most absent cells. With 256 distinct cells the single-word
+/// filter answered "maybe" ~98% of the time (every miss paid the probe
+/// loop); the blocked size-adaptive filter stays in the low percent. The
+/// 25% bound is loose enough for address-layout variance and tight enough
+/// that a saturating filter can never pass.
+void bloom_selective_beyond_64_cells() {
+  for (const std::size_t written_count : {80ul, 256ul, 700ul}) {
+    WriteSet ws;
+    std::vector<TmCell> cells(8192);
+    for (std::size_t i = 0; i < written_count; ++i) {
+      ws.put(cells[i], i, static_cast<std::uint32_t>(i));
+      CHECK(ws.may_contain(cells[i]));  // never a false negative
+    }
+    std::size_t false_positives = 0;
+    const std::size_t probes = cells.size() - written_count;
+    for (std::size_t i = written_count; i < cells.size(); ++i) {
+      if (ws.may_contain(cells[i])) ++false_positives;
+    }
+    CHECK(false_positives * 4 < probes);  // < 25% false positives
+  }
+}
+
+/// Rehash collisions on the grow() path: force several table doublings with
+/// adversarially clustered addresses, interleaving overwrites, and verify
+/// every lookup still resolves to the latest value.
+void grow_rehash_keeps_lookups_exact() {
+  WriteSet ws;
+  std::vector<TmCell> cells(6000);  // > 1024 * 0.75 * 4: several grows
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ws.put(cells[i], i, static_cast<std::uint32_t>(i & 1023));
+    if (i % 3 == 0) ws.put(cells[i / 2], i, 0);  // overwrite an older entry
+  }
+  CHECK_EQ(ws.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const WriteEntry* e = ws.find(cells[i]);
+    CHECK(e != nullptr);
+    if (e == nullptr) continue;
+    // cells[i/2] was overwritten by the last round i' with i'/2 == index.
+    TmWord expect = i;
+    for (std::size_t j = cells.size(); j-- > 0;) {
+      if (j % 3 == 0 && j / 2 == i) {
+        expect = j;
+        break;
+      }
+    }
+    CHECK_EQ(e->value, expect);
+  }
+}
+
+/// Randomized invariant: against a reference map, find() NEVER misses a
+/// written cell (no false negative at any size, across epochs and growth)
+/// and never fabricates an entry for an unwritten one.
+void randomized_never_false_negative() {
+  WriteSet ws;
+  std::vector<TmCell> cells(4096);
+  std::map<const TmCell*, TmWord> ref;
+  Xoshiro256 rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    ws.clear();
+    ref.clear();
+    const int ops = 1 + static_cast<int>(rng.below(1500));
+    for (int i = 0; i < ops; ++i) {
+      const std::size_t idx = rng.below(cells.size());
+      const TmWord value = rng.next_u64();
+      ws.put(cells[idx], value, static_cast<std::uint32_t>(idx & 511));
+      ref[&cells[idx]] = value;
+    }
+    CHECK_EQ(ws.size(), ref.size());
+    for (const auto& c : cells) {
+      const WriteEntry* e = ws.find(c);
+      const auto it = ref.find(&c);
+      if (it != ref.end()) {
+        CHECK(e != nullptr);  // written: MUST be found
+        if (e != nullptr) CHECK_EQ(e->value, it->second);
+      } else {
+        CHECK(e == nullptr);  // unwritten: exact index must reject
+      }
+    }
+  }
+}
+
+/// The deduped stripe view: one stripe per distinct granule in first-write
+/// order, overwrites adding nothing, O(1) membership, clear() resetting.
+void write_stripes_deduped_view() {
+  WriteSet ws;
+  std::vector<TmCell> cells(16);
+  ws.put(cells[0], 1, 7);
+  ws.put(cells[1], 2, 3);
+  ws.put(cells[2], 3, 7);   // stripe 7 again: no new stripe
+  ws.put(cells[0], 4, 7);   // overwrite: no new entry, no new stripe
+  ws.put(cells[3], 5, 12);
+  const std::vector<std::uint32_t> expect = {7, 3, 12};
+  CHECK(ws.write_stripes() == expect);
+  CHECK(ws.wrote_stripe(7));
+  CHECK(ws.wrote_stripe(3));
+  CHECK(ws.wrote_stripe(12));
+  CHECK(!ws.wrote_stripe(8));
+  CHECK_EQ(ws.size(), 4u);
+  ws.clear();
+  CHECK(ws.write_stripes().empty());
+  CHECK(!ws.wrote_stripe(7));
+  // Stripe view agrees with the log across growth and many epochs.
+  std::vector<TmCell> many(3000);
+  for (int round = 0; round < 3; ++round) {
+    ws.clear();
+    std::set<std::uint32_t> ref;
+    for (std::size_t i = 0; i < many.size(); ++i) {
+      const auto stripe = static_cast<std::uint32_t>((i * 7 + round) % 577);
+      ws.put(many[i], i, stripe);
+      ref.insert(stripe);
+    }
+    CHECK_EQ(ws.write_stripes().size(), ref.size());
+    for (const std::uint32_t s : ws.write_stripes()) CHECK(ref.count(s) == 1);
+    for (const std::uint32_t s : ref) CHECK(ws.wrote_stripe(s));
+  }
+}
+
 }  // namespace
 }  // namespace rhtm
 
@@ -96,5 +219,9 @@ int main() {
       TestCase{"overwrite_keeps_one_entry", rhtm::overwrite_keeps_one_entry},
       TestCase{"clear_forgets", rhtm::clear_forgets},
       TestCase{"many_epochs_and_growth", rhtm::many_epochs_and_growth},
+      TestCase{"bloom_selective_beyond_64_cells", rhtm::bloom_selective_beyond_64_cells},
+      TestCase{"grow_rehash_keeps_lookups_exact", rhtm::grow_rehash_keeps_lookups_exact},
+      TestCase{"randomized_never_false_negative", rhtm::randomized_never_false_negative},
+      TestCase{"write_stripes_deduped_view", rhtm::write_stripes_deduped_view},
   });
 }
