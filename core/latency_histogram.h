@@ -1,0 +1,123 @@
+#pragma once
+
+// LatencyHistogram — a fixed-size log-bucketed (HdrHistogram-style
+// log-linear) histogram for per-request latency recording on the open-loop
+// measurement path (workloads/open_loop.h).
+//
+// Design constraints, in order:
+//  * record() must be cheap and allocation-free: the driver calls it once
+//    per completed request on the measured path. One bit-scan, one add.
+//  * Bounded relative quantile error: each power-of-two range is split into
+//    kSubBuckets linear sub-buckets, so a reported quantile overstates the
+//    true sample by at most 1/kSubBuckets (~3.1%) — tight enough that
+//    p99 vs p999 separation is real, small enough to stay at 1089 counters
+//    (~8.5 KB) per histogram.
+//  * Mergeable: per-thread histograms merge by counter addition, and
+//    merge-of-histograms is exactly histogram-of-union (same buckets), so
+//    the driver aggregates workers without sharing on the hot path.
+//
+// Values are dimensionless u64s; the open-loop driver records nanoseconds.
+// Values above kMaxTrackable (~4.6 minutes in ns) land in one overflow
+// bucket; quantiles that fall into it report the exact maximum recorded
+// value (the conservative answer for a tail metric).
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace rhtm {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;  // 32
+  static constexpr unsigned kMaxExp = 38;  ///< top tracked power of two
+  static constexpr std::uint64_t kMaxTrackable = (1ull << kMaxExp) - 1;
+
+  void record(std::uint64_t value) {
+    ++counts_[index_of(value)];
+    ++total_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+    if (value < min_) min_ = value;
+  }
+
+  /// Counter-wise addition: after `a.merge(b)`, every quantile of `a` equals
+  /// the quantile of the union of both sample streams.
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+    if (other.min_ < min_) min_ = other.min_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t max() const { return total_ != 0 ? max_ : 0; }
+  [[nodiscard]] std::uint64_t min() const { return total_ != 0 ? min_ : 0; }
+  [[nodiscard]] double mean() const {
+    return total_ != 0 ? static_cast<double>(sum_) / static_cast<double>(total_) : 0.0;
+  }
+
+  /// Value at quantile `q` in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest sample (so the true sample is <= the
+  /// reported value, within one sub-bucket width of it). q <= 0 reports the
+  /// first occupied bucket, q >= 1 the last; an empty histogram reports 0.
+  [[nodiscard]] std::uint64_t quantile(double q) const {
+    if (total_ == 0) return 0;
+    std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    if (static_cast<double>(target) < q * static_cast<double>(total_)) ++target;
+    if (target == 0) target = 1;
+    if (target > total_) target = total_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= target) {
+        // The overflow bucket has no finite upper bound; the exact max
+        // recorded value is the honest answer there — and it also clamps
+        // the top bucket's upper bound, so no quantile ever exceeds max().
+        if (i == kBuckets - 1) return max_;
+        const std::uint64_t upper = bucket_upper(i);
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;  // unreachable: seen == total_ >= target after the loop
+  }
+
+  /// Samples recorded above kMaxTrackable (the overflow bucket's count).
+  [[nodiscard]] std::uint64_t overflow_count() const { return counts_[kBuckets - 1]; }
+
+ private:
+  // Buckets: [0, kSubBuckets) exact, then (kMaxExp - kSubBucketBits)
+  // log-linear decades of kSubBuckets each, then one overflow bucket.
+  static constexpr std::size_t kBuckets =
+      kSubBuckets + (kMaxExp - kSubBucketBits) * kSubBuckets + 1;
+
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    if (v > kMaxTrackable) return kBuckets - 1;
+    const unsigned e = 63 - static_cast<unsigned>(std::countl_zero(v));
+    const std::uint64_t sub = (v >> (e - kSubBucketBits)) - kSubBuckets;
+    return static_cast<std::size_t>(
+        kSubBuckets + static_cast<std::uint64_t>(e - kSubBucketBits) * kSubBuckets + sub);
+  }
+
+  /// Largest value mapping to bucket `i` (inverse of index_of for the
+  /// non-overflow buckets).
+  static std::uint64_t bucket_upper(std::size_t i) {
+    if (i < kSubBuckets) return static_cast<std::uint64_t>(i);
+    const std::uint64_t idx = static_cast<std::uint64_t>(i) - kSubBuckets;
+    const unsigned e = kSubBucketBits + static_cast<unsigned>(idx >> kSubBucketBits);
+    const std::uint64_t sub = idx & (kSubBuckets - 1);
+    const std::uint64_t width = 1ull << (e - kSubBucketBits);
+    return (1ull << e) + (sub + 1) * width - 1;
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+};
+
+}  // namespace rhtm

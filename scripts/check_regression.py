@@ -3,7 +3,9 @@
 
 Compares the *ratio of two series* (default: RH1-Fast / TL2) per
 (scenario, table, x) between a baseline run and a fresh run, and fails when
-the fresh ratio has regressed by more than --threshold (default 25%).
+the fresh ratio has regressed by more than --threshold (default 25%). The
+gate is direction-aware: throughput-shaped primary metrics regress when the
+ratio drops, latency-shaped ones (p50_us/p99_us/p999_us) when it rises.
 Ratios between series measured in the same process are robust to runner
 noise where absolute ops/sec are not — both series speed up or slow down
 together on a cold/hot runner, their quotient does not (see
@@ -40,20 +42,33 @@ def series_points(table, name):
     return None
 
 
-# The gate's regression test is one-directional (ratio dropped = bad), so it
-# must only look at higher-is-better metrics. Latency tables (micro_barriers'
-# read_ns_per_access, micro_htm's ns_per_call) would have the direction
-# inverted — a cheaper RH1 read would *fail* the gate — so any table whose
-# primary metric is not in this set is skipped.
-GATED_METRICS = {"total_ops", "ops_per_sec"}
+# The gate is direction-aware: a table's primary metric decides which way a
+# ratio move counts as a regression. Throughput-shaped metrics regress when
+# the ratio DROPS; latency-shaped metrics (the service scenario's open-loop
+# tail percentiles) regress when the ratio RISES — a cheaper RH1 tail must
+# never fail the gate. A primary metric in neither set has no known
+# direction and its table is skipped, but VISIBLY (an info line per table),
+# never silently.
+GATED_HIGHER_IS_BETTER = {"total_ops", "ops_per_sec", "achieved_per_sec"}
+GATED_LOWER_IS_BETTER = {"p50_us", "p90_us", "p99_us", "p999_us"}
+
+
+def metric_direction(metric):
+    """'higher' / 'lower' for gateable metrics, None for unknown direction."""
+    if metric in GATED_HIGHER_IS_BETTER:
+        return "higher"
+    if metric in GATED_LOWER_IS_BETTER:
+        return "lower"
+    return None
 
 
 def ratios(report, numerator, denominator):
-    """[(table-title, x, num/den)] for every x where both series have data,
-    over tables whose primary metric is gateable (higher is better)."""
+    """[(table-title, x, num/den, direction)] for every x where both series
+    have data, over tables whose primary metric has a known direction."""
     out = []
     for table in report.get("tables", []):
-        if table.get("primary_metric") not in GATED_METRICS:
+        direction = metric_direction(table.get("primary_metric"))
+        if direction is None:
             continue
         num = series_points(table, numerator)
         den = series_points(table, denominator)
@@ -61,16 +76,16 @@ def ratios(report, numerator, denominator):
             continue
         for x in sorted(num.keys() & den.keys(), key=str):
             if den[x] > 0 and num[x] > 0:
-                out.append((table["title"], x, num[x] / den[x]))
+                out.append((table["title"], x, num[x] / den[x], direction))
     return out
 
 
 def gateable_titles(report):
-    """Titles of the tables the gate would look at (higher-is-better metric)."""
+    """Titles of the tables the gate would look at (known-direction metric)."""
     return {
         t["title"]
         for t in report.get("tables", [])
-        if t.get("primary_metric") in GATED_METRICS
+        if metric_direction(t.get("primary_metric")) is not None
     }
 
 
@@ -104,14 +119,24 @@ def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout)
             new_report = json.load(f)
         old_titles = gateable_titles(old_report)
         new_titles = gateable_titles(new_report)
+        for t in new_report.get("tables", []):
+            metric = t.get("primary_metric")
+            if metric_direction(metric) is None:
+                print(
+                    f"  {name} | {t.get('title')}: primary metric '{metric}' "
+                    f"has no gating direction; table not gated",
+                    file=out,
+                )
         for title in sorted(new_titles - old_titles):
             print(f"  {name} | {title}: new table (no baseline yet, ungated this run)",
                   file=out)
         for title in sorted(old_titles - new_titles):
             print(f"  {name} | {title}: table removed (present in baseline only)", file=out)
-        old_ratios = {(t, x): r for t, x, r in ratios(old_report, numerator, denominator)}
+        old_ratios = {
+            (t, x): r for t, x, r, _ in ratios(old_report, numerator, denominator)
+        }
         new_keys = set()
-        for title, x, new_ratio in ratios(new_report, numerator, denominator):
+        for title, x, new_ratio, direction in ratios(new_report, numerator, denominator):
             new_keys.add((title, x))
             old_ratio = old_ratios.get((title, x))
             if old_ratio is None:
@@ -136,14 +161,22 @@ def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout)
                 continue
             compared += 1
             change = new_ratio / old_ratio
+            # higher-is-better regresses when the ratio drops past the
+            # threshold; lower-is-better (latency) when it rises past the
+            # reciprocal bound, so the gate is symmetric either way.
+            if direction == "higher":
+                regressed = change < 1.0 - threshold
+            else:
+                regressed = change > 1.0 / (1.0 - threshold)
             marker = ""
-            if change < 1.0 - threshold:
+            if regressed:
                 marker = "  <-- REGRESSION"
                 regressions.append((name, title, x, old_ratio, new_ratio, change))
+            tag = "" if direction == "higher" else " [lower-is-better]"
             print(
                 f"  {name} | {title} | x={x}: "
                 f"{numerator}/{denominator} {old_ratio:.3f} -> {new_ratio:.3f} "
-                f"({change:.2f}x){marker}",
+                f"({change:.2f}x){tag}{marker}",
                 file=out,
             )
         # The symmetric direction: a point the baseline gated that the
@@ -249,6 +282,8 @@ def self_test():
         assert "BENCH_fresh_scenario.json: new report" in text, text
         assert "brand-new table: new table" in text, text
         assert "retired table: table removed" in text, text
+        # The unknown-direction table is skipped VISIBLY, never silently.
+        assert "'ns_per_call' has no gating direction" in text, text
 
         # A point present only in the current run of a table BOTH runs share
         # must surface as an explicit "new point" info line (never silently
@@ -280,6 +315,79 @@ def self_test():
         assert not regressions, regressions
         text = log.getvalue()
         assert "x=4: point removed (present in baseline only" in text, text
+
+        # Lower-is-better gating: the service scenario's tail-latency tables.
+        # A rising RH1/TL2 latency ratio must fail the gate; a falling one
+        # (RH1's tail got cheaper) must pass — the exact inversion of the
+        # throughput direction. achieved_per_sec rides along as
+        # higher-is-better.
+        def service_report(p99_rh1, p99_tl2, ach_rh1=400, ach_tl2=100):
+            def tbl(metric, rh1, tl2):
+                return {
+                    "title": f"service {metric} table",
+                    "style": "sweep",
+                    "x": "offered_rate",
+                    "primary_metric": metric,
+                    "series": [
+                        {
+                            "name": name,
+                            "points": [
+                                {"x": r, "metrics": {metric: v * r}} for r in (1, 2)
+                            ],
+                        }
+                        for name, v in (("RH1-Fast", rh1), ("TL2", tl2))
+                    ],
+                }
+
+            return {
+                "schema": "rhtm-bench-report/v1",
+                "scenario": "service",
+                "substrate": "emul",
+                "tables": [
+                    tbl("p99_us", p99_rh1, p99_tl2),
+                    tbl("achieved_per_sec", ach_rh1, ach_tl2),
+                ],
+            }
+
+        svc_old = os.path.join(tmp, "svc_old")
+        svc_ok = os.path.join(tmp, "svc_ok")
+        svc_bad = os.path.join(tmp, "svc_bad")
+        svc_improved = os.path.join(tmp, "svc_improved")
+        for d in (svc_old, svc_ok, svc_bad, svc_improved):
+            os.mkdir(d)
+
+        def write_svc(dirname, rep):
+            with open(os.path.join(dirname, "BENCH_service.json"), "w") as f:
+                json.dump(rep, f)
+
+        # Baseline: p99 ratio 0.5, achieved ratio 4.0.
+        write_svc(svc_old, service_report(p99_rh1=50, p99_tl2=100))
+        # Globally 2x slower run, ratios preserved: passes.
+        write_svc(svc_ok, service_report(p99_rh1=100, p99_tl2=200, ach_rh1=200, ach_tl2=50))
+        # RH1's tail doubled relative to TL2 (ratio 0.5 -> 1.0): must FAIL,
+        # while the unchanged achieved table stays green.
+        write_svc(svc_bad, service_report(p99_rh1=100, p99_tl2=100))
+        # RH1's tail halved relative to TL2 (ratio 0.5 -> 0.25): an
+        # improvement, must PASS (under throughput direction this 0.5x change
+        # would have been flagged).
+        write_svc(svc_improved, service_report(p99_rh1=25, p99_tl2=100))
+
+        compared, regressions = compare(svc_old, svc_ok, "RH1-Fast", "TL2", 0.25, sink)
+        assert compared == 4, compared
+        assert not regressions, regressions
+
+        log = io.StringIO()
+        compared, regressions = compare(svc_old, svc_bad, "RH1-Fast", "TL2", 0.25, log)
+        assert compared == 4, compared
+        assert len(regressions) == 2, regressions
+        assert all(r[1] == "service p99_us table" for r in regressions), regressions
+        assert "[lower-is-better]" in log.getvalue(), log.getvalue()
+
+        compared, regressions = compare(
+            svc_old, svc_improved, "RH1-Fast", "TL2", 0.25, sink
+        )
+        assert compared == 4, compared
+        assert not regressions, regressions
     print("self-test passed")
     return 0
 

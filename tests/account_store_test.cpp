@@ -1,0 +1,278 @@
+// AccountStore conservation oracle: the sum of all balances equals
+// total_minted() at every transaction boundary, for every protocol, under
+// concurrent transfer / batch-transfer / audit churn with forced aborts
+// (inject_abort_bp on the hardware-mode protocols; TL2 aborts naturally
+// under the contention). Every COMMITTED audit must observe the minted
+// total exactly — a torn partial transfer is an atomicity bug, not noise.
+// Sequential semantics (insufficient funds, self-transfer, batch skip
+// counts, shard decomposition) are pinned first.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/rhtm.h"
+#include "test_common.h"
+#include "workloads/account_store.h"
+
+namespace rhtm {
+namespace {
+
+// ------------------------------------------------------------- sequential --
+
+template <class Tm>
+void sequential_semantics(Tm& tm) {
+  AccountStore store(/*accounts=*/16, /*initial=*/100, /*shards=*/4);
+  CHECK_EQ(store.accounts(), 16u);
+  CHECK_EQ(store.shards(), 4u);
+  CHECK_EQ(store.total_minted(), 1600u);
+  CHECK_EQ(store.unsafe_total(), 1600u);
+  CHECK_EQ(store.shard_of(0), 0u);
+  CHECK_EQ(store.shard_of(5), 1u);
+  CHECK_EQ(store.shard_of(15), 3u);
+
+  typename Tm::ThreadCtx ctx(tm);
+  bool ok = false;
+  // Plain transfer moves the amount.
+  tm.atomically(ctx, [&](auto& tx) { ok = store.transfer(tx, 0, 1, 30); });
+  CHECK(ok);
+  tm.atomically(ctx, [&](auto& tx) {
+    CHECK_EQ(store.balance(tx, 0), 70u);
+    CHECK_EQ(store.balance(tx, 1), 130u);
+  });
+  // Insufficient funds: committed no-op, returns false, balances untouched.
+  tm.atomically(ctx, [&](auto& tx) { ok = store.transfer(tx, 0, 2, 71); });
+  CHECK(!ok);
+  tm.atomically(ctx, [&](auto& tx) {
+    CHECK_EQ(store.balance(tx, 0), 70u);
+    CHECK_EQ(store.balance(tx, 2), 100u);
+  });
+  // Self-transfer: trivially conserving no-op, returns true.
+  tm.atomically(ctx, [&](auto& tx) { ok = store.transfer(tx, 3, 3, 50); });
+  CHECK(ok);
+  tm.atomically(ctx, [&](auto& tx) { CHECK_EQ(store.balance(tx, 3), 100u); });
+  // Account indices wrap modulo the store size.
+  tm.atomically(ctx, [&](auto& tx) { ok = store.transfer(tx, 16, 2, 10); });
+  CHECK(ok);
+  tm.atomically(ctx, [&](auto& tx) { CHECK_EQ(store.balance(tx, 0), 60u); });
+
+  // Batch: per-item skip, applied count reported.
+  const AccountStore::Transfer batch[3] = {
+      {4, 5, 25},        // applies
+      {4, 6, 1'000'000}, // insufficient: skipped
+      {5, 6, 125},       // applies (sees the first item's credit)
+  };
+  std::size_t applied = 0;
+  tm.atomically(ctx, [&](auto& tx) { applied = store.batch_transfer(tx, batch, 3); });
+  CHECK_EQ(applied, 2u);
+  tm.atomically(ctx, [&](auto& tx) {
+    CHECK_EQ(store.balance(tx, 4), 75u);
+    CHECK_EQ(store.balance(tx, 5), 0u);
+    CHECK_EQ(store.balance(tx, 6), 225u);
+  });
+
+  // Audit and shard decomposition: full == minted == sum of shard audits.
+  TmWord full = 0, by_shards = 0;
+  tm.atomically(ctx, [&](auto& tx) {
+    full = store.audit(tx);
+    by_shards = 0;
+    for (std::size_t s = 0; s < store.shards(); ++s) by_shards += store.audit_shard(tx, s);
+  });
+  CHECK_EQ(full, store.total_minted());
+  CHECK_EQ(by_shards, store.total_minted());
+  CHECK_EQ(store.unsafe_total(), store.total_minted());
+}
+
+template <class H>
+void sequential_all_protocols() {
+  TmUniverse<H> u;
+  {
+    Tl2<H> tm(u);
+    sequential_semantics(tm);
+  }
+  {
+    HtmOnly<H> tm(u);
+    sequential_semantics(tm);
+  }
+  {
+    typename StandardHytm<H>::Config cfg;
+    cfg.hardware_only = true;
+    StandardHytm<H> tm(u, cfg);
+    sequential_semantics(tm);
+  }
+  {
+    typename HybridTm<H>::Config cfg;
+    cfg.slow_retry_percent = 100;
+    HybridTm<H> tm(u, cfg);
+    sequential_semantics(tm);
+  }
+  {
+    HybridNorec<H> tm(u);
+    sequential_semantics(tm);
+  }
+  {
+    PhasedTm<H> tm(u);
+    sequential_semantics(tm);
+  }
+}
+
+// ------------------------------------------------------------- concurrent --
+
+/// Two transfer workers + one batch worker churn random transfers while an
+/// auditor continuously runs full audits (and one-transaction
+/// sum-of-all-shard-audits). Every committed audit must equal
+/// total_minted(); the quiescent total must too. Worker threads record
+/// anomalies in atomics (the CHECK macro is not thread-safe) and the main
+/// thread asserts after the join.
+template <class Tm>
+void concurrent_conservation(Tm& tm) {
+  constexpr std::uint64_t kTransfersPerWorker = 3000;
+  constexpr std::uint64_t kBatches = 800;
+  AccountStore store(/*accounts=*/256, /*initial=*/100, /*shards=*/8);
+  const TmWord minted = store.total_minted();
+
+  std::atomic<unsigned> workers_done{0};
+  std::atomic<std::uint64_t> bad_audits{0};
+  std::atomic<std::uint64_t> audits_done{0};
+  // Start barrier: nobody transacts until all four threads are up, so the
+  // auditor genuinely overlaps the churn instead of racing thread spawn.
+  std::atomic<unsigned> ready{0};
+  const auto arrive_and_wait = [&] {
+    ready.fetch_add(1, std::memory_order_acq_rel);
+    while (ready.load(std::memory_order_acquire) < 4) {
+    }
+  };
+  std::vector<std::thread> threads;
+
+  for (unsigned w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      typename Tm::ThreadCtx ctx(tm);
+      Xoshiro256 rng(0x1000 + w);
+      arrive_and_wait();
+      for (std::uint64_t i = 0; i < kTransfersPerWorker; ++i) {
+        const std::uint64_t from = rng.below(store.accounts());
+        const std::uint64_t to = rng.below(store.accounts());
+        const TmWord amount = 1 + rng.below(50);
+        tm.atomically(ctx, [&](auto& tx) { (void)store.transfer(tx, from, to, amount); });
+      }
+      workers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  threads.emplace_back([&] {
+    typename Tm::ThreadCtx ctx(tm);
+    Xoshiro256 rng(0x2000);
+    arrive_and_wait();
+    for (std::uint64_t i = 0; i < kBatches; ++i) {
+      AccountStore::Transfer batch[3];
+      for (auto& t : batch) {
+        t.from = rng.below(store.accounts());
+        t.to = rng.below(store.accounts());
+        t.amount = 1 + rng.below(50);
+      }
+      tm.atomically(ctx, [&](auto& tx) { (void)store.batch_transfer(tx, batch, 3); });
+    }
+    workers_done.fetch_add(1, std::memory_order_release);
+  });
+  threads.emplace_back([&] {
+    typename Tm::ThreadCtx ctx(tm);
+    bool shard_flavor = false;
+    arrive_and_wait();
+    // At least a handful of audits even if the churn outpaces us entirely.
+    std::uint64_t n = 0;
+    while (n++ < 25 || workers_done.load(std::memory_order_acquire) < 3) {
+      TmWord sum = 0;
+      if (shard_flavor) {
+        // Sum of per-shard audits inside ONE transaction: the shard
+        // decomposition must be exhaustive and non-overlapping.
+        tm.atomically(ctx, [&](auto& tx) {
+          sum = 0;
+          for (std::size_t s = 0; s < store.shards(); ++s) sum += store.audit_shard(tx, s);
+        });
+      } else {
+        tm.atomically(ctx, [&](auto& tx) { sum = store.audit(tx); });
+      }
+      shard_flavor = !shard_flavor;
+      if (sum != minted) bad_audits.fetch_add(1, std::memory_order_relaxed);
+      audits_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  CHECK_EQ(bad_audits.load(), 0u);   // no committed audit saw a torn total
+  CHECK(audits_done.load() > 0);     // the auditor actually ran
+  CHECK_EQ(store.unsafe_total(), minted);  // quiescent conservation
+}
+
+/// Forced-abort churn: every protocol runs with a 10% injected abort rate
+/// where the config supports it (the retry path must preserve atomicity,
+/// not just the straight-line commit path). TL2 takes its natural
+/// contention aborts instead.
+template <class H>
+void concurrent_all_protocols() {
+  constexpr std::uint32_t kInjectBp = 1000;  // 10% forced aborts
+  TmUniverse<H> u;
+  {
+    Tl2<H> tm(u);
+    concurrent_conservation(tm);
+  }
+  {
+    typename HtmOnly<H>::Config cfg;
+    cfg.inject_abort_bp = kInjectBp;
+    HtmOnly<H> tm(u, cfg);
+    concurrent_conservation(tm);
+  }
+  {
+    typename StandardHytm<H>::Config cfg;
+    cfg.hardware_only = true;
+    cfg.inject_abort_bp = kInjectBp;
+    StandardHytm<H> tm(u, cfg);
+    concurrent_conservation(tm);
+  }
+  for (const unsigned slow_percent : {0u, 100u}) {
+    typename HybridTm<H>::Config cfg;
+    cfg.slow_retry_percent = slow_percent;
+    cfg.inject_abort_bp = kInjectBp;
+    HybridTm<H> tm(u, cfg);
+    concurrent_conservation(tm);
+  }
+  {
+    typename HybridNorec<H>::Config cfg;
+    cfg.inject_abort_bp = kInjectBp;
+    HybridNorec<H> tm(u, cfg);
+    concurrent_conservation(tm);
+  }
+  {
+    typename PhasedTm<H>::Config cfg;
+    cfg.inject_abort_bp = kInjectBp;
+    PhasedTm<H> tm(u, cfg);
+    concurrent_conservation(tm);
+  }
+}
+
+void test_sequential_sim() { sequential_all_protocols<HtmSim>(); }
+void test_sequential_emul() { sequential_all_protocols<HtmEmul>(); }
+void test_concurrent_sim() { concurrent_all_protocols<HtmSim>(); }
+
+void test_concurrent_rtm_when_viable() {
+#if defined(__RTM__)
+  if (HtmRtm::hardware_viable()) {
+    concurrent_all_protocols<HtmRtm>();
+    return;
+  }
+#endif
+  std::printf("    (no usable RTM on this host; sim leg covers the contract)\n");
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      {"sequential_semantics_all_protocols_sim", rhtm::test_sequential_sim},
+      {"sequential_semantics_all_protocols_emul_1t", rhtm::test_sequential_emul},
+      {"concurrent_conservation_all_protocols_sim", rhtm::test_concurrent_sim},
+      {"concurrent_conservation_rtm_when_viable", rhtm::test_concurrent_rtm_when_viable},
+  });
+}

@@ -1,0 +1,197 @@
+// LatencyHistogram oracle tests: quantiles are checked against a
+// sorted-vector oracle on uniform / lognormal / bimodal samples with the
+// documented relative bucket-error bound; merge-of-histograms must equal
+// histogram-of-union exactly; the overflow bucket and the zero-sample edge
+// cases are pinned.
+
+#include "core/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "test_common.h"
+
+namespace rhtm {
+namespace {
+
+/// The oracle quantile: the ceil(q * n)-th smallest sample (1-based), the
+/// same rank definition LatencyHistogram::quantile documents.
+std::uint64_t oracle_quantile(const std::vector<std::uint64_t>& sorted, double q) {
+  const auto n = static_cast<double>(sorted.size());
+  auto target = static_cast<std::size_t>(q * n);
+  if (static_cast<double>(target) < q * n) ++target;
+  if (target == 0) target = 1;
+  if (target > sorted.size()) target = sorted.size();
+  return sorted[target - 1];
+}
+
+/// The histogram's contract against the oracle: the reported quantile never
+/// understates the true sample and overstates it by at most one sub-bucket
+/// width (1/32 relative, +1 absolute slack for the exact small buckets).
+void check_against_oracle(const LatencyHistogram& h, std::vector<std::uint64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t want = oracle_quantile(samples, q);
+    const std::uint64_t got = h.quantile(q);
+    CHECK(got >= want);
+    CHECK(got <= want + want / 32 + 1);
+  }
+  CHECK_EQ(h.count(), samples.size());
+  CHECK_EQ(h.min(), samples.front());
+  CHECK_EQ(h.max(), samples.back());
+}
+
+void test_quantiles_uniform() {
+  std::mt19937_64 gen(0xfeedu);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 1'000'000);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t v = dist(gen);
+    h.record(v);
+    samples.push_back(v);
+  }
+  check_against_oracle(h, std::move(samples));
+}
+
+void test_quantiles_lognormal() {
+  // Latency-shaped: a long right tail spanning several orders of magnitude.
+  std::mt19937_64 gen(0xbeefu);
+  std::lognormal_distribution<double> dist(10.0, 1.5);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(gen));
+    h.record(v);
+    samples.push_back(v);
+  }
+  check_against_oracle(h, std::move(samples));
+}
+
+void test_quantiles_bimodal() {
+  // Fast path vs queued path: 90% near 150 ns, 10% near 1.5 ms — the p99/p999
+  // split must land inside the slow mode.
+  std::mt19937_64 gen(0xabcdu);
+  std::uniform_int_distribution<std::uint64_t> fast(100, 200);
+  std::uniform_int_distribution<std::uint64_t> slow(1'000'000, 2'000'000);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t v = coin(gen) < 0.9 ? fast(gen) : slow(gen);
+    h.record(v);
+    samples.push_back(v);
+  }
+  check_against_oracle(h, samples);
+  CHECK(h.quantile(0.5) <= 200);        // median in the fast mode
+  CHECK(h.quantile(0.99) >= 1'000'000);  // p99 in the slow mode
+}
+
+void test_merge_equals_union() {
+  // Three per-thread streams vs one union stream: counter-wise merge must
+  // reproduce the union histogram EXACTLY (same buckets, same counts), so
+  // every quantile agrees bit-for-bit.
+  std::mt19937_64 gen(0x1234u);
+  std::lognormal_distribution<double> dist(8.0, 2.0);
+  LatencyHistogram parts[3];
+  LatencyHistogram whole;
+  for (int i = 0; i < 30'000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(gen));
+    parts[i % 3].record(v);
+    whole.record(v);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& p : parts) merged.merge(p);
+  CHECK_EQ(merged.count(), whole.count());
+  CHECK_EQ(merged.min(), whole.min());
+  CHECK_EQ(merged.max(), whole.max());
+  CHECK(merged.mean() == whole.mean());
+  for (const double q : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999, 1.0}) {
+    CHECK_EQ(merged.quantile(q), whole.quantile(q));
+  }
+}
+
+void test_small_values_exact() {
+  // Values below 2 * kSubBuckets get width-1 buckets: quantiles are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  CHECK_EQ(h.quantile(0.0), 0u);
+  CHECK_EQ(h.quantile(0.5), 31u);  // rank 32 of 64, zero-based sample 31
+  CHECK_EQ(h.quantile(1.0), 63u);
+  CHECK_EQ(h.count(), 64u);
+}
+
+void test_overflow_bucket() {
+  LatencyHistogram h;
+  CHECK(LatencyHistogram::kMaxTrackable > 200'000'000'000ull);  // > 200 s in ns
+  // 99 trackable samples + 2 beyond the trackable range.
+  for (int i = 0; i < 99; ++i) h.record(1000);
+  h.record(LatencyHistogram::kMaxTrackable + 1);
+  h.record(900'000'000'000ull);
+  CHECK_EQ(h.overflow_count(), 2u);
+  CHECK_EQ(h.count(), 101u);
+  // The tail quantiles fall in the overflow bucket, which reports the exact
+  // maximum — never a fabricated finite bound.
+  CHECK_EQ(h.quantile(1.0), 900'000'000'000ull);
+  CHECK_EQ(h.max(), 900'000'000'000ull);
+  // The body quantiles are untouched by the overflow samples.
+  CHECK(h.quantile(0.5) >= 1000 && h.quantile(0.5) <= 1032);
+  // The exact boundary value is NOT overflow.
+  LatencyHistogram edge;
+  edge.record(LatencyHistogram::kMaxTrackable);
+  CHECK_EQ(edge.overflow_count(), 0u);
+  CHECK_EQ(edge.quantile(0.5), LatencyHistogram::kMaxTrackable);
+}
+
+void test_zero_samples_and_single() {
+  LatencyHistogram h;
+  CHECK_EQ(h.count(), 0u);
+  CHECK_EQ(h.quantile(0.5), 0u);
+  CHECK_EQ(h.quantile(1.0), 0u);
+  CHECK_EQ(h.max(), 0u);
+  CHECK_EQ(h.min(), 0u);
+  CHECK(h.mean() == 0.0);
+  // Merging an empty histogram is the identity.
+  LatencyHistogram other;
+  other.record(77);
+  other.merge(h);
+  CHECK_EQ(other.count(), 1u);
+  CHECK_EQ(other.quantile(0.5), 77u);
+  // A single sample answers every quantile.
+  for (const double q : {0.0, 0.5, 0.999, 1.0}) CHECK_EQ(other.quantile(q), 77u);
+}
+
+void test_quantile_monotone() {
+  // Quantile must be non-decreasing in q — the log-linear bucketing must
+  // never invert ranks.
+  std::mt19937_64 gen(0x777u);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 1'000'000'000ull);
+  LatencyHistogram h;
+  for (int i = 0; i < 10'000; ++i) h.record(dist(gen));
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t v = h.quantile(q);
+    CHECK(v >= prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      {"quantiles_uniform_vs_oracle", rhtm::test_quantiles_uniform},
+      {"quantiles_lognormal_vs_oracle", rhtm::test_quantiles_lognormal},
+      {"quantiles_bimodal_vs_oracle", rhtm::test_quantiles_bimodal},
+      {"merge_equals_histogram_of_union", rhtm::test_merge_equals_union},
+      {"small_values_exact", rhtm::test_small_values_exact},
+      {"overflow_bucket", rhtm::test_overflow_bucket},
+      {"zero_samples_and_single", rhtm::test_zero_samples_and_single},
+      {"quantile_monotone", rhtm::test_quantile_monotone},
+  });
+}

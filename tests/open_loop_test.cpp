@@ -1,0 +1,241 @@
+// Open-loop driver oracles: the Poisson arrival process hits its configured
+// mean (and exponential shape) within statistical bounds, per-thread arrival
+// streams are independent yet reproducible under a fixed seed, drop
+// accounting is exact when the offered rate saturates a bounded queue, the
+// deterministic-rate mode offers an exactly computable arrival count, and
+// recorded latency is arrival->commit (never below the service time, and
+// including queueing delay when a backlog builds).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "core/rhtm.h"
+#include "test_common.h"
+#include "workloads/open_loop.h"
+
+namespace rhtm {
+namespace {
+
+// -------------------------------------------------------- arrival process --
+
+void test_poisson_mean_and_shape() {
+  // rate 1e6/s => mean gap 1000 ns. 200K draws: the sample mean's sigma is
+  // 1000/sqrt(200K) ~= 2.2 ns, so +-10 is a >4-sigma bound; the truncation
+  // to integer ns shaves at most 1 ns off the mean.
+  constexpr int kDraws = 200'000;
+  ArrivalSampler sampler(1e6, /*deterministic=*/false);
+  Xoshiro256 rng(12345);
+  double sum = 0;
+  int above_mean = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t gap = sampler.next_gap_ns(rng);
+    sum += static_cast<double>(gap);
+    if (gap >= 1000) ++above_mean;
+  }
+  const double mean = sum / kDraws;
+  CHECK(mean > 990.0 && mean < 1010.0);
+  // Exponential shape: P(gap >= mean) = e^-1 ~= 0.3679 (sigma ~= 0.0011, so
+  // +-0.01 is a ~9-sigma bound — this fails for uniform or normal gaps).
+  const double frac = static_cast<double>(above_mean) / kDraws;
+  CHECK(frac > 0.3679 - 0.01 && frac < 0.3679 + 0.01);
+}
+
+void test_arrival_streams_seeded() {
+  ArrivalSampler sampler(1e6, /*deterministic=*/false);
+  const std::uint64_t seed = 0xabcdef12345ull;
+  // Same (seed, tid) reproduces the exact gap sequence ...
+  Xoshiro256 a(seed ^ driver_thread_seed(0));
+  Xoshiro256 b(seed ^ driver_thread_seed(0));
+  for (int i = 0; i < 1000; ++i) CHECK_EQ(sampler.next_gap_ns(a), sampler.next_gap_ns(b));
+  // ... while distinct tids get distinct streams (same seed).
+  Xoshiro256 t0(seed ^ driver_thread_seed(0));
+  Xoshiro256 t1(seed ^ driver_thread_seed(1));
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (sampler.next_gap_ns(t0) != sampler.next_gap_ns(t1)) ++differing;
+  }
+  CHECK(differing > 90);
+}
+
+// ------------------------------------------------------------ driver runs --
+
+void test_deterministic_rate_exact() {
+  // Deterministic gap = 100 us, window 0.05 s, one worker: arrivals land at
+  // k * 100'000 ns for k = 1..500 — offered is EXACTLY 500, and a fast
+  // service admits and completes every one of them.
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  TVar<TmWord> cell;
+  OpenLoopOptions opt;
+  opt.rate_per_sec = 10'000;
+  opt.seconds = 0.05;
+  opt.threads = 1;
+  opt.deterministic = true;
+  const OpenLoopResult r =
+      run_open_loop(tm, opt, [&](auto& tmr, auto& ctx, Xoshiro256&, unsigned, unsigned k) {
+        tmr.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + k); });
+      });
+  CHECK_EQ(r.offered, 500u);
+  CHECK_EQ(r.dropped, 0u);
+  CHECK_EQ(r.admitted, 500u);
+  CHECK_EQ(r.completed, 500u);
+  CHECK_EQ(r.latency.count(), 500u);
+  // Every request was applied by a committed transaction exactly once.
+  CHECK_EQ(cell.unsafe_read(), 500u);
+  // batch=1: one committed transaction per completed request.
+  CHECK_EQ(r.stats.commits, 500u);
+  CHECK(r.offered_per_sec() > 9'999.0 && r.offered_per_sec() < 10'001.0);
+}
+
+void test_poisson_run_reproducible_offered() {
+  // The arrival schedule is a pure function of (seed, tid): two runs under
+  // the same seed offer the identical arrival count even though wall-clock
+  // service timing differs; a different seed (almost surely) does not.
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  TVar<TmWord> cell;
+  OpenLoopOptions opt;
+  opt.rate_per_sec = 40'000;
+  opt.seconds = 0.05;
+  opt.threads = 2;
+  const auto service = [&](auto& tmr, auto& ctx, Xoshiro256&, unsigned, unsigned k) {
+    tmr.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + k); });
+  };
+  const OpenLoopResult r1 = run_open_loop(tm, opt, service);
+  const OpenLoopResult r2 = run_open_loop(tm, opt, service);
+  CHECK_EQ(r1.offered, r2.offered);
+  // ~2000 expected arrivals, sigma ~= sqrt(2000) ~= 45: a 5-sigma corridor.
+  CHECK(r1.offered > 2000 - 225 && r1.offered < 2000 + 225);
+  opt.seed ^= 0x5555aaaa5555aaaaull;
+  const OpenLoopResult r3 = run_open_loop(tm, opt, service);
+  CHECK(r3.offered != r1.offered);
+}
+
+void test_drop_accounting_saturating() {
+  // Offered 20K/s deterministic against a ~1 ms service on a capacity-4
+  // queue: the worker can serve only ~50 of the 1000 offered, so the queue
+  // saturates and sheds — and the books must balance EXACTLY:
+  // offered = admitted + dropped, admitted = completed (post-window drain),
+  // one latency sample per completion.
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  TVar<TmWord> cell;
+  OpenLoopOptions opt;
+  opt.rate_per_sec = 20'000;
+  opt.seconds = 0.05;
+  opt.threads = 1;
+  opt.deterministic = true;
+  opt.queue_capacity = 4;
+  const OpenLoopResult r =
+      run_open_loop(tm, opt, [&](auto& tmr, auto& ctx, Xoshiro256&, unsigned, unsigned k) {
+        tmr.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + k); });
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      });
+  CHECK_EQ(r.offered, 1000u);
+  CHECK(r.dropped > 0);
+  CHECK_EQ(r.admitted + r.dropped, r.offered);
+  CHECK_EQ(r.completed, r.admitted);
+  CHECK_EQ(r.latency.count(), r.completed);
+  CHECK_EQ(cell.unsafe_read(), r.completed);
+  CHECK(r.drop_rate() > 0.0 && r.drop_rate() < 1.0);
+}
+
+void test_latency_includes_queueing() {
+  // Service time 2 ms against a 1 ms deterministic gap: every recorded
+  // latency is at least the service time (commit happens after service),
+  // and the growing backlog pushes the max far beyond one service time —
+  // the queueing-delay component the closed-loop drivers cannot see.
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  TVar<TmWord> cell;
+  OpenLoopOptions opt;
+  opt.rate_per_sec = 1'000;
+  opt.seconds = 0.02;
+  opt.threads = 1;
+  opt.deterministic = true;
+  const OpenLoopResult r =
+      run_open_loop(tm, opt, [&](auto& tmr, auto& ctx, Xoshiro256&, unsigned, unsigned k) {
+        tmr.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + k); });
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      });
+  CHECK_EQ(r.offered, 20u);
+  CHECK_EQ(r.completed, 20u);
+  CHECK(r.latency.min() >= 2'000'000);  // >= one service time
+  CHECK(r.latency.max() >= 6'000'000);  // >= service + real queueing delay
+  CHECK(r.seconds >= r.gen_seconds);    // wall clock includes the drain
+}
+
+void test_batching_coalesces_backlog() {
+  // Gap 50 us against a ~300 us service with batch K=4: the backlog forces
+  // multi-request transactions. Completions must equal the sum of the k's
+  // handed to the service, some call must actually coalesce (k > 1), and no
+  // call may exceed K.
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  TVar<TmWord> cell;
+  std::atomic<unsigned> max_k{0};
+  std::atomic<std::uint64_t> sum_k{0};
+  OpenLoopOptions opt;
+  opt.rate_per_sec = 20'000;
+  opt.seconds = 0.05;
+  opt.threads = 1;
+  opt.deterministic = true;
+  opt.batch = 4;
+  const OpenLoopResult r =
+      run_open_loop(tm, opt, [&](auto& tmr, auto& ctx, Xoshiro256&, unsigned, unsigned k) {
+        unsigned seen = max_k.load(std::memory_order_relaxed);
+        while (k > seen && !max_k.compare_exchange_weak(seen, k)) {
+        }
+        sum_k.fetch_add(k, std::memory_order_relaxed);
+        tmr.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + k); });
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      });
+  CHECK_EQ(r.offered, 1000u);
+  CHECK_EQ(r.completed, r.admitted);
+  CHECK_EQ(sum_k.load(), r.completed);
+  CHECK(max_k.load() > 1);
+  CHECK(max_k.load() <= 4);
+  CHECK_EQ(cell.unsafe_read(), r.completed);
+  // With batching the transaction count is strictly below the completions.
+  CHECK(r.stats.commits < r.completed);
+}
+
+void test_multi_thread_partitions_rate() {
+  // 4 workers share the offered rate: per-worker deterministic gap is
+  // 4/rate, so the total offered count is exact (4 * floor(window/gap)).
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  TVar<TmWord> cell;
+  OpenLoopOptions opt;
+  opt.rate_per_sec = 40'000;
+  opt.seconds = 0.02;
+  opt.threads = 4;
+  opt.deterministic = true;
+  const OpenLoopResult r =
+      run_open_loop(tm, opt, [&](auto& tmr, auto& ctx, Xoshiro256&, unsigned, unsigned k) {
+        tmr.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + k); });
+      });
+  CHECK_EQ(r.offered, 4u * 200u);
+  CHECK_EQ(r.completed, r.offered);
+  CHECK_EQ(cell.unsafe_read(), r.completed);
+}
+
+}  // namespace
+}  // namespace rhtm
+
+int main() {
+  using rhtm::test::TestCase;
+  return rhtm::test::run_tests({
+      {"poisson_mean_and_shape", rhtm::test_poisson_mean_and_shape},
+      {"arrival_streams_seeded", rhtm::test_arrival_streams_seeded},
+      {"deterministic_rate_exact", rhtm::test_deterministic_rate_exact},
+      {"poisson_run_reproducible_offered", rhtm::test_poisson_run_reproducible_offered},
+      {"drop_accounting_saturating", rhtm::test_drop_accounting_saturating},
+      {"latency_includes_queueing", rhtm::test_latency_includes_queueing},
+      {"batching_coalesces_backlog", rhtm::test_batching_coalesces_backlog},
+      {"multi_thread_partitions_rate", rhtm::test_multi_thread_partitions_rate},
+  });
+}

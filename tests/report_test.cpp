@@ -205,6 +205,20 @@ report::BenchReport sample_report() {
   report::TableData& wide = rep.add_table("wide table", report::TableStyle::kWide,
                                           "tx_words", "fast_pct");
   wide.add_series("RH1").add_point(32).set("fast_pct", 99.125).set("rh2_pct", 0);
+
+  // Open-loop service shape: latency percentiles, drop accounting and
+  // offered-vs-achieved rate, fractional and integral mixed.
+  report::TableData& open = rep.add_table("open-loop table", report::TableStyle::kSweep,
+                                          "offered_rate", "achieved_per_sec");
+  open.add_series("RH1-Fast")
+      .add_point(20000)
+      .set("offered_per_sec", 19987.25)
+      .set("achieved_per_sec", 19501.5)
+      .set("drop_rate", 0.0243)
+      .set("p50_us", 12.5)
+      .set("p99_us", 181.375)
+      .set("p999_us", 905.0)
+      .set("dropped", 486);
   return rep;
 }
 
@@ -334,6 +348,29 @@ void test_write_json_file() {
   std::remove(path.c_str());
 }
 
+void test_open_loop_fields_roundtrip() {
+  // The service scenario's tail-latency fields must survive the JSON path
+  // bit-exactly: fractional microsecond percentiles and sub-1 drop rates
+  // are where a %g/precision regression would silently corrupt the gate.
+  const report::BenchReport rep = sample_report();
+  const JsonValue root = JsonParser(rep.to_json()).parse();
+  const JsonValue* tables = root.get("tables");
+  CHECK(tables != nullptr && tables->array.size() == 3);
+  const JsonValue& open = tables->array[2];
+  expect_string(open.get("x"), "offered_rate");
+  expect_string(open.get("primary_metric"), "achieved_per_sec");
+  const JsonValue& point = open.get("series")->array[0].get("points")->array[0];
+  const JsonValue* metrics = point.get("metrics");
+  CHECK(metrics != nullptr);
+  expect_number(*metrics->get("offered_per_sec"), 19987.25);
+  expect_number(*metrics->get("achieved_per_sec"), 19501.5);
+  expect_number(*metrics->get("drop_rate"), 0.0243);
+  expect_number(*metrics->get("p50_us"), 12.5);
+  expect_number(*metrics->get("p99_us"), 181.375);
+  expect_number(*metrics->get("p999_us"), 905.0);
+  expect_number(*metrics->get("dropped"), 486);
+}
+
 void test_point_set_overwrites() {
   report::Point p;
   p.set("total_ops", 1).set("total_ops", 2);
@@ -353,6 +390,7 @@ int main() {
       {"escaping", rhtm::test::test_escaping},
       {"empty_report", rhtm::test::test_empty_report},
       {"write_json_file", rhtm::test::test_write_json_file},
+      {"open_loop_fields_roundtrip", rhtm::test::test_open_loop_fields_roundtrip},
       {"point_set_overwrites", rhtm::test::test_point_set_overwrites},
   });
 }

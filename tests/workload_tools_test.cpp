@@ -1,8 +1,11 @@
 // Workload-tooling coverage: the Zipfian generator's empirical frequency
 // ranking and range, TimedHandle's access counting / barrier-cycle
-// attribution, the throughput and phased drivers' deadline behaviour under
-// a slow op, the phase schedule's windowing, and the pin-mode helper.
+// attribution, the shared run_worker_pool substrate (tid coverage, pinned
+// per-thread seeding, live ThreadCtx wiring), the throughput and phased
+// drivers' deadline behaviour and stats attribution after the worker-pool
+// refactor, the phase schedule's windowing, and the pin-mode helper.
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -103,6 +106,57 @@ void test_timed_handle_counts_and_attributes() {
   CHECK_EQ(untimed.writes, 1u);
   CHECK_EQ(untimed.read_cycles, 0u);
   CHECK_EQ(untimed.write_cycles, 0u);
+}
+
+// ------------------------------------------------------------ worker pool --
+
+/// run_worker_pool is the shared substrate under run_throughput, run_phased
+/// and run_open_loop: every tid in [0, threads) runs exactly once with a
+/// usable ThreadCtx, the per-thread rng seeding is the pinned
+/// driver_thread_seed formula, and the returned wall time covers the run.
+void test_run_worker_pool_substrate() {
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  TVar<TmWord> cell;
+  constexpr unsigned kThreads = 4;
+  std::atomic<unsigned> tid_mask{0};
+  std::uint64_t first_draw[kThreads] = {};
+  const double wall =
+      run_worker_pool(tm, kThreads, PinMode::kNone, [&](auto& ctx, Xoshiro256& rng,
+                                                        unsigned tid) {
+        tid_mask.fetch_or(1u << tid, std::memory_order_relaxed);
+        first_draw[tid] = rng.next_u64();
+        tm.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + 1); });
+      });
+  CHECK(wall > 0.0);
+  CHECK_EQ(tid_mask.load(), (1u << kThreads) - 1);  // every tid ran once
+  CHECK_EQ(cell.unsafe_read(), kThreads);           // every ctx was live
+  // Seeding is deterministic and per-thread distinct.
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    Xoshiro256 expect(driver_thread_seed(tid));
+    CHECK_EQ(first_draw[tid], expect.next_u64());
+    for (unsigned other = 0; other < tid; ++other) {
+      CHECK(first_draw[tid] != first_draw[other]);
+    }
+  }
+}
+
+/// The closed-loop drivers must behave identically after the worker-pool
+/// refactor: one commit per op, ops attributed to the right thread slots,
+/// and the cell total equal to the commit total.
+void test_run_throughput_stats_attribution() {
+  TmUniverse<HtmSim> u;
+  Tl2<HtmSim> tm(u);
+  TVar<TmWord> cell;
+  const ThroughputResult r =
+      run_throughput(tm, 2, 0.02, [&](auto& tmr, auto& ctx, Xoshiro256&, unsigned) {
+        tmr.atomically(ctx, [&](auto& tx) { cell.write(tx, cell.read(tx) + 1); });
+      });
+  CHECK(r.total_ops > 0);
+  CHECK_EQ(cell.unsafe_read(), r.stats.commits);
+  // Each op is exactly one committed transaction.
+  CHECK_EQ(r.stats.commits, r.total_ops);
+  CHECK(r.seconds > 0.0);
 }
 
 // ------------------------------------------------- drivers stop on time --
@@ -228,6 +282,8 @@ int main() {
       {"zipf_in_range_and_ranked", rhtm::test_zipf_in_range_and_ranked},
       {"zipf_theta_skew", rhtm::test_zipf_theta_skew},
       {"timed_handle_counts_and_attributes", rhtm::test_timed_handle_counts_and_attributes},
+      {"run_worker_pool_substrate", rhtm::test_run_worker_pool_substrate},
+      {"run_throughput_stats_attribution", rhtm::test_run_throughput_stats_attribution},
       {"run_throughput_deadline_under_slow_op",
        rhtm::test_run_throughput_deadline_under_slow_op},
       {"run_phased_deadline_and_phase_accounting",

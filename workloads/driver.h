@@ -126,6 +126,45 @@ struct ThroughputResult {
   }
 };
 
+// ----------------------------------------------------- worker-pool substrate --
+
+/// The deterministic per-thread driver seed: every measurement driver seeds
+/// worker `tid`'s rng identically, so closed-loop and open-loop runs of the
+/// same workload draw the same per-thread streams.
+[[nodiscard]] inline std::uint64_t driver_thread_seed(unsigned tid) {
+  return 0x853c49e6748fea9bull ^
+         (static_cast<std::uint64_t>(tid) + 1) * 0x9e3779b97f4a7c15ull;
+}
+
+/// THE multi-thread measurement substrate, shared by every driver
+/// (closed-loop run_throughput, the phased driver, the open-loop driver):
+/// spawns `threads` workers, applies the pin policy, gives each a protocol
+/// ThreadCtx over `tm` and a deterministically-seeded rng, releases them on
+/// one start flag (no worker runs ahead while later ones are still being
+/// spawned), joins, and returns the wall-clock seconds between the release
+/// and the last join. `body(ctx, rng, tid)` is one worker's whole run.
+template <class Tm, class Body>
+double run_worker_pool(Tm& tm, unsigned threads, PinMode pin, Body&& body) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      pin_current_thread(pin, tid);
+      typename Tm::ThreadCtx ctx(tm);
+      Xoshiro256 rng(driver_thread_seed(tid));
+      while (!go.load(std::memory_order_acquire)) {
+        detail::cpu_relax();
+      }
+      body(ctx, rng, tid);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
 /// Element-wise `now - before` over every TxStats counter: the per-phase /
 /// per-window accounting primitive shared by run_capacity_pressure and the
 /// phased driver (workloads/phase_schedule.h).
@@ -149,7 +188,9 @@ struct ThroughputResult {
 }
 
 /// Drives `op(tm, ctx, rng, tid)` — one transaction per call — on `threads`
-/// threads for `seconds`, aggregating per-thread TxStats.
+/// threads for `seconds`, aggregating per-thread TxStats. A body over the
+/// shared worker-pool substrate: the deadline is checked between ops, so a
+/// slow op overshoots by at most one op.
 template <class Tm, class Op>
 ThroughputResult run_throughput(Tm& tm, unsigned threads, double seconds, Op&& op,
                                 PinMode pin = PinMode::kNone) {
@@ -158,36 +199,21 @@ ThroughputResult run_throughput(Tm& tm, unsigned threads, double seconds, Op&& o
     TxStats stats;
   };
   std::vector<PerThread> slots(threads);
-  std::atomic<bool> go{false};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned tid = 0; tid < threads; ++tid) {
-    workers.emplace_back([&, tid] {
-      pin_current_thread(pin, tid);
-      typename Tm::ThreadCtx ctx(tm);
-      Xoshiro256 rng(0x853c49e6748fea9bull ^ (static_cast<std::uint64_t>(tid) + 1) *
-                                                 0x9e3779b97f4a7c15ull);
-      while (!go.load(std::memory_order_acquire)) {
-        detail::cpu_relax();
-      }
-      const auto deadline = std::chrono::steady_clock::now() +
-                            std::chrono::duration<double>(seconds);
-      std::uint64_t ops = 0;
-      do {
-        op(tm, ctx, rng, tid);
-        ++ops;
-      } while (std::chrono::steady_clock::now() < deadline);
-      slots[tid].ops = ops;
-      slots[tid].stats = ctx.stats;
-    });
-  }
-  const auto t0 = std::chrono::steady_clock::now();
-  go.store(true, std::memory_order_release);
-  for (auto& w : workers) w.join();
-  const auto t1 = std::chrono::steady_clock::now();
+  const double wall =
+      run_worker_pool(tm, threads, pin, [&](auto& ctx, Xoshiro256& rng, unsigned tid) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+        std::uint64_t ops = 0;
+        do {
+          op(tm, ctx, rng, tid);
+          ++ops;
+        } while (std::chrono::steady_clock::now() < deadline);
+        slots[tid].ops = ops;
+        slots[tid].stats = ctx.stats;
+      });
 
   ThroughputResult r;
-  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.seconds = wall;
   for (const PerThread& s : slots) {
     r.total_ops += s.ops;
     r.stats.merge(s.stats);

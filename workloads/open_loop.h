@@ -1,0 +1,202 @@
+#pragma once
+
+// Open-loop measurement driver — traffic arrives at a RATE, not at the
+// speed the system can absorb. Every closed-loop driver in this repo
+// (run_throughput, run_phased) issues the next transaction the moment the
+// previous one finishes, which measures throughput but structurally cannot
+// see queueing delay: a production service is judged on p99/p999 latency
+// under an arrival rate, where one slow software commit or abort-retry
+// storm stalls the queue behind it.
+//
+// Model: the offered load `rate_per_sec` is partitioned evenly across the
+// workers; each worker owns an independent arrival process (Poisson —
+// exponential inter-arrival gaps — or deterministic fixed-gap) drawn from
+// its own seeded stream, and a BOUNDED admission queue of arrival
+// timestamps:
+//
+//   arrivals (virtual schedule)          service (real transactions)
+//   t=a0, a1, a2, ... ---> [bounded FIFO] ---> batch of <=K per transaction
+//                            |   full => drop (counted, request shed)
+//
+// Per-request latency is measured arrival -> commit: the recorded value is
+// (commit wall time) - (scheduled arrival time), so time spent waiting in
+// the admission queue IS included. Arrival timestamps advance on the
+// virtual schedule regardless of service progress — the driver is immune to
+// coordinated omission: if the system stalls, the backlog's requests keep
+// their early arrival stamps and the stall lands in the tail percentiles.
+//
+// Generation stops at the run deadline; the worker then drains what was
+// admitted, so the accounting is exact:  offered = admitted + dropped and
+// admitted = completed (tests/open_loop_test.cpp pins all of it, plus the
+// arrival process statistics, against oracles).
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/latency_histogram.h"
+#include "workloads/driver.h"
+
+namespace rhtm {
+
+/// Inter-arrival gap generator: Poisson process (exponential gaps of mean
+/// 1/rate) or deterministic fixed-rate (constant gap). Gaps are in
+/// nanoseconds on the virtual arrival clock.
+class ArrivalSampler {
+ public:
+  ArrivalSampler(double rate_per_sec, bool deterministic)
+      : mean_gap_ns_(rate_per_sec > 0 ? 1e9 / rate_per_sec : 1e18),
+        deterministic_(deterministic) {}
+
+  [[nodiscard]] std::uint64_t next_gap_ns(Xoshiro256& rng) {
+    if (deterministic_) {
+      return static_cast<std::uint64_t>(std::llround(mean_gap_ns_));
+    }
+    // U uniform in (0, 1]: 53 high bits of the draw, +1 to exclude zero.
+    const double u =
+        (static_cast<double>(rng.next_u64() >> 11) + 1.0) * 0x1.0p-53;
+    return static_cast<std::uint64_t>(-std::log(u) * mean_gap_ns_);
+  }
+
+ private:
+  double mean_gap_ns_;
+  bool deterministic_;
+};
+
+struct OpenLoopOptions {
+  double rate_per_sec = 10'000;  ///< offered load, total across all workers
+  double seconds = 1.0;          ///< arrival-generation window
+  unsigned threads = 1;
+  std::size_t queue_capacity = 4096;  ///< per-worker admission queue bound
+  unsigned batch = 1;                 ///< requests served per transaction (K)
+  bool deterministic = false;         ///< fixed-gap arrivals instead of Poisson
+  std::uint64_t seed = 0x6f2d7a5c3b1e49d8ull;  ///< arrival-stream seed
+  PinMode pin = PinMode::kNone;
+};
+
+struct OpenLoopResult {
+  std::uint64_t offered = 0;    ///< arrivals generated inside the window
+  std::uint64_t admitted = 0;   ///< accepted into an admission queue
+  std::uint64_t dropped = 0;    ///< shed on a full queue (offered - admitted)
+  std::uint64_t completed = 0;  ///< served by a committed transaction
+  double gen_seconds = 0;       ///< the nominal generation window
+  double seconds = 0;           ///< wall clock including the post-window drain
+  LatencyHistogram latency;     ///< arrival -> commit, nanoseconds
+  TxStats stats;
+
+  [[nodiscard]] double offered_per_sec() const {
+    return gen_seconds > 0 ? static_cast<double>(offered) / gen_seconds : 0.0;
+  }
+  [[nodiscard]] double achieved_per_sec() const {
+    return seconds > 0 ? static_cast<double>(completed) / seconds : 0.0;
+  }
+  [[nodiscard]] double drop_rate() const {
+    return offered != 0 ? static_cast<double>(dropped) / static_cast<double>(offered)
+                        : 0.0;
+  }
+};
+
+/// Drives `service(tm, ctx, rng, tid, k)` — ONE transaction serving `k`
+/// admitted requests (k <= opt.batch) — under open-loop arrivals. Built on
+/// the same worker-pool substrate as the closed-loop drivers: identical
+/// pinning, ThreadCtx wiring and per-thread base seeding.
+template <class Tm, class Service>
+OpenLoopResult run_open_loop(Tm& tm, const OpenLoopOptions& opt, Service&& service) {
+  struct PerThread {
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t completed = 0;
+    LatencyHistogram latency;
+    TxStats stats;
+  };
+  const unsigned threads = opt.threads == 0 ? 1 : opt.threads;
+  const std::size_t cap = opt.queue_capacity == 0 ? 1 : opt.queue_capacity;
+  const unsigned batch = opt.batch == 0 ? 1 : opt.batch;
+  const double worker_rate = opt.rate_per_sec / static_cast<double>(threads);
+  const auto run_ns = static_cast<std::uint64_t>(opt.seconds * 1e9);
+  std::vector<PerThread> slots(threads);
+
+  OpenLoopResult r;
+  r.gen_seconds = opt.seconds;
+  r.seconds = run_worker_pool(tm, threads, opt.pin, [&](auto& ctx, Xoshiro256& rng,
+                                                        unsigned tid) {
+    PerThread& slot = slots[tid];
+    // The arrival stream is seeded independently of the service rng so the
+    // schedule is a pure function of (opt.seed, tid) — per-thread streams
+    // are distinct, and a fixed seed reproduces the exact schedule.
+    Xoshiro256 arrival_rng(opt.seed ^ driver_thread_seed(tid));
+    ArrivalSampler sampler(worker_rate, opt.deterministic);
+    // Bounded admission ring of arrival timestamps (ns on this worker's
+    // clock). head==tail means empty; occupancy is kept <= cap.
+    std::vector<std::uint64_t> pending(cap + 1);
+    std::size_t head = 0, tail = 0, occupancy = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto now_ns = [&] {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    };
+    std::uint64_t next_arrival = sampler.next_gap_ns(arrival_rng);
+    bool generating = next_arrival <= run_ns;
+    for (;;) {
+      const std::uint64_t now = now_ns();
+      // Admit every arrival due by now (and inside the window). A stalled
+      // service admits/drops the whole backlog here in one sweep, so the
+      // virtual schedule never falls behind the real clock.
+      while (generating && next_arrival <= now) {
+        ++slot.offered;
+        if (occupancy < cap) {
+          pending[tail] = next_arrival;
+          tail = (tail + 1) % pending.size();
+          ++occupancy;
+          ++slot.admitted;
+        } else {
+          ++slot.dropped;
+        }
+        next_arrival += sampler.next_gap_ns(arrival_rng);
+        if (next_arrival > run_ns) generating = false;
+      }
+      if (now >= run_ns) generating = false;
+      if (occupancy == 0) {
+        if (!generating) break;  // window closed and queue drained: done
+        // Idle until the next scheduled arrival: sleep while it is far,
+        // spin when it is near (sleep granularity would skew admission).
+        const std::uint64_t wait = next_arrival > now ? next_arrival - now : 0;
+        if (wait > 200'000) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        } else {
+          detail::cpu_relax();
+        }
+        continue;
+      }
+      const auto k = static_cast<std::size_t>(
+          occupancy < batch ? occupancy : static_cast<std::size_t>(batch));
+      service(tm, ctx, rng, tid, static_cast<unsigned>(k));
+      const std::uint64_t commit = now_ns();
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint64_t arrival = pending[head];
+        head = (head + 1) % pending.size();
+        slot.latency.record(commit > arrival ? commit - arrival : 0);
+      }
+      occupancy -= k;
+      slot.completed += k;
+    }
+    slot.stats = ctx.stats;
+  });
+
+  for (const PerThread& s : slots) {
+    r.offered += s.offered;
+    r.admitted += s.admitted;
+    r.dropped += s.dropped;
+    r.completed += s.completed;
+    r.latency.merge(s.latency);
+    r.stats.merge(s.stats);
+  }
+  return r;
+}
+
+}  // namespace rhtm

@@ -93,7 +93,9 @@ struct PhasedResult {
 /// Drives `op(tm, ctx, rng, tid, phase_index, phase)` — one transaction per
 /// call — on `threads` threads for `total_seconds`, switching phases on the
 /// schedule's cadence and attributing ops + TxStats to the phase that
-/// issued them.
+/// issued them. A body over the shared worker-pool substrate
+/// (workloads/driver.h) — pinning, ThreadCtx wiring and per-thread seeding
+/// are identical to the closed-loop and open-loop drivers'.
 template <class Tm, class Op>
 PhasedResult run_phased(Tm& tm, unsigned threads, double total_seconds,
                         const PhaseSchedule& schedule, Op&& op,
@@ -104,40 +106,26 @@ PhasedResult run_phased(Tm& tm, unsigned threads, double total_seconds,
   };
   const std::size_t phases = schedule.size();
   std::vector<std::vector<Slot>> slots(threads, std::vector<Slot>(phases));
-  std::atomic<bool> go{false};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned tid = 0; tid < threads; ++tid) {
-    workers.emplace_back([&, tid] {
-      pin_current_thread(pin, tid);
-      typename Tm::ThreadCtx ctx(tm);
-      Xoshiro256 rng(0x853c49e6748fea9bull ^ (static_cast<std::uint64_t>(tid) + 1) *
-                                                 0x9e3779b97f4a7c15ull);
-      while (!go.load(std::memory_order_acquire)) {
-        detail::cpu_relax();
+  run_worker_pool(tm, threads, pin, [&](auto& ctx, Xoshiro256& rng, unsigned tid) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto total = std::chrono::duration<double>(total_seconds);
+    std::size_t cur = 0;
+    TxStats flushed;  // ctx.stats snapshot at the last phase transition
+    for (;;) {
+      const auto elapsed = std::chrono::steady_clock::now() - t0;
+      if (elapsed >= total) break;
+      const std::size_t idx = schedule.phase_at(
+          std::chrono::duration<double>(elapsed).count() / total_seconds);
+      if (idx != cur) {
+        slots[tid][cur].stats.merge(tx_stats_delta(ctx.stats, flushed));
+        flushed = ctx.stats;
+        cur = idx;
       }
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto total = std::chrono::duration<double>(total_seconds);
-      std::size_t cur = 0;
-      TxStats flushed;  // ctx.stats snapshot at the last phase transition
-      for (;;) {
-        const auto elapsed = std::chrono::steady_clock::now() - t0;
-        if (elapsed >= total) break;
-        const std::size_t idx = schedule.phase_at(
-            std::chrono::duration<double>(elapsed).count() / total_seconds);
-        if (idx != cur) {
-          slots[tid][cur].stats.merge(tx_stats_delta(ctx.stats, flushed));
-          flushed = ctx.stats;
-          cur = idx;
-        }
-        op(tm, ctx, rng, tid, idx, schedule.phase(idx));
-        ++slots[tid][idx].ops;
-      }
-      slots[tid][cur].stats.merge(tx_stats_delta(ctx.stats, flushed));
-    });
-  }
-  go.store(true, std::memory_order_release);
-  for (auto& w : workers) w.join();
+      op(tm, ctx, rng, tid, idx, schedule.phase(idx));
+      ++slots[tid][idx].ops;
+    }
+    slots[tid][cur].stats.merge(tx_stats_delta(ctx.stats, flushed));
+  });
 
   PhasedResult r;
   r.per_phase.resize(phases);
