@@ -44,6 +44,7 @@ class HybridNorec {
     Xoshiro256 rng_;
     WriteSet ws_;
     std::vector<std::pair<const TmCell*, TmWord>> read_log_;  ///< value-based (NOrec)
+    std::vector<pmem::CapturedWrite> hw_redo_;  ///< durable: hw-path write capture
   };
 
   explicit HybridNorec(TmUniverse<H>& u, Config cfg = {})
@@ -55,14 +56,17 @@ class HybridNorec {
   }
 
  private:
-  /// Hardware handle: plain accesses; only tracks whether we wrote.
+  /// Hardware handle: plain accesses; only tracks whether we wrote (and, in
+  /// durable mode, captures the writes for the post-_xend redo log).
   struct HwHandle {
     typename H::Tx& t;
     bool& wrote;
+    std::vector<pmem::CapturedWrite>* redo;  ///< non-null in durable mode
     TmWord load(const TmCell& c) { return t.load(c); }
     void store(TmCell& c, TmWord v) {
       wrote = true;
       t.store(c, v);
+      if (redo != nullptr) redo->push_back({&c, v});
     }
   };
 
@@ -108,19 +112,35 @@ class HybridNorec {
   void run(ThreadCtx& ctx, Body& body) {
     unsigned attempt = 0;
     unsigned capacity_fails = 0;
+    const bool durable = u_.durable();
     for (unsigned tries = 0; tries < cfg_.max_hw_attempts; ++tries) {
       ctx.stats.count_attempt(ExecPath::kHtm);
       const bool poison = injector_.fire(ctx.rng_);
       bool wrote = false;
+      if (durable) ctx.hw_redo_.clear();  // aborted attempts leave entries behind
+      TmWord seq_held = 0;
       const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
         const TmWord s0 = t.load(seq_);  // subscribe to the global sequence lock
         if ((s0 & 1) != 0) t.abort_explicit();
         if (poison) t.poison();
-        HwHandle h{t, wrote};
+        HwHandle h{t, wrote, durable ? &ctx.hw_redo_ : nullptr};
         body(h);
-        if (wrote) t.store(seq_, s0 + 2);  // the coarse-conflict commit bump
+        // Durable writers come out of _xend still HOLDING the sequence lock
+        // (odd): the values are in memory, but every concurrent reader —
+        // hardware txns subscribe to seq_, software revalidates against it —
+        // is fenced out until the post-_xend persist releases it. The
+        // non-durable commit bump releases immediately (s0 + 2).
+        if (wrote) t.store(seq_, durable ? s0 + 1 : s0 + 2);
+        seq_held = s0;
       });
       if (out.ok()) {
+        if (durable && wrote) {
+          PersistentDomain& pd = u_.pmem();
+          const std::uint64_t txid = pd.durable_log(ctx.hw_redo_, pmem::kPathNorecHw);
+          pd.durable_mark(txid, pmem::kPathNorecHw);
+          pd.durable_apply(ctx.hw_redo_, pmem::kPathNorecHw);
+          seq_.word.store(seq_held + 2, std::memory_order_release);
+        }
         ctx.stats.count_commit(ExecPath::kHtm);
         return;
       }
@@ -153,7 +173,19 @@ class HybridNorec {
             }
             snapshot = revalidate(ctx);
           }
-          u_.htm().nontx_publish(ctx.ws_.entries());
+          if (u_.durable()) {
+            // Sequence lock held (odd) across the whole persist: log + mark
+            // before values become visible, apply before release — readers
+            // never consume a value that is not yet durably marked.
+            PersistentDomain& pd = u_.pmem();
+            const std::uint64_t txid =
+                pd.durable_log(ctx.ws_.entries(), pmem::kPathNorecSw);
+            pd.durable_mark(txid, pmem::kPathNorecSw);
+            u_.htm().nontx_publish(ctx.ws_.entries());
+            pd.durable_apply(ctx.ws_.entries(), pmem::kPathNorecSw);
+          } else {
+            u_.htm().nontx_publish(ctx.ws_.entries());
+          }
           seq_.word.store(snapshot + 2, std::memory_order_release);
         }
       } catch (const detail::StmAbort& a) {
@@ -236,7 +268,11 @@ class PhasedTm {
   void run(ThreadCtx& ctx, Body& body) {
     unsigned attempt = 0;
     unsigned capacity_fails = 0;
-    for (unsigned tries = 0; tries < cfg_.max_hw_attempts; ++tries) {
+    // Durable universes always run the software phase: the uninstrumented
+    // hardware handle captures no redo, so its commits could not be logged.
+    // (HybridTm's fast path shows what a durable hardware phase costs; the
+    // phased design's whole point is zero instrumentation, so it opts out.)
+    for (unsigned tries = 0; !u_.durable() && tries < cfg_.max_hw_attempts; ++tries) {
       if (phase_.word.load(std::memory_order_acquire) != 0) break;  // SW phase active
       ctx.stats.count_attempt(ExecPath::kHtm);
       const bool poison = injector_.fire(ctx.rng_);

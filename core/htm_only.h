@@ -6,6 +6,11 @@
 // deterministically exceed the hardware budget (classic lock elision);
 // hardware attempts subscribe to the fallback lock so the two are mutually
 // atomic on the simulated substrate.
+//
+// HtmOnly is NOT durable-capable: with zero instrumentation there is
+// nowhere to capture a redo log, so it ignores TmUniverse durability mode
+// (the durable scenarios exclude it). The durable hardware-commit designs
+// live in core/rh1.h and core/ext_hybrids.h.
 
 #include <cstdint>
 

@@ -73,6 +73,7 @@ class HybridTm {
     ReadSet rs_;
     WriteSet ws_;
     StripeSet fast_written_;  ///< distinct stripes the fast path stamps
+    std::vector<pmem::CapturedWrite> fast_redo_;  ///< durable: fast-path write capture
     std::vector<std::uint32_t> lock_scratch_;
     StripeSet masks_;  ///< stripes with our RH2 read mask published (O(1) self test)
     unsigned adaptive_streak = 0;
@@ -96,14 +97,28 @@ class HybridTm {
     typename H::Tx& t;
     StripeTable& st;
     StripeSet& written;
+    std::vector<pmem::CapturedWrite>* redo;  ///< non-null in durable mode
 
-    TmWord load(const TmCell& c) { return t.load(c); }
+    TmWord load(const TmCell& c) {
+      if (redo != nullptr &&
+          StripeTable::is_locked(t.load(st.word(st.index_of(&c))))) {
+        // Durable mode's one extra load per read (the fast-path fine-grained
+        // locking cost): a locked stripe belongs to a commit that has
+        // published its values in memory but not yet durably — reading them
+        // now could make this transaction durable before its antecedent.
+        // The stripe word joins the HTM read set, so the owner's unlock
+        // conflicts us out rather than racing the data load.
+        t.abort_explicit();
+      }
+      return t.load(c);
+    }
 
     void store(TmCell& c, TmWord v) {
       const std::size_t s = st.index_of(&c);
       if (StripeTable::is_locked(t.load(st.word(s)))) t.abort_explicit();
       t.store(c, v);
       written.insert(static_cast<std::uint32_t>(s));
+      if (redo != nullptr) redo->push_back({&c, v});
     }
   };
 
@@ -126,14 +141,22 @@ class HybridTm {
     for (;;) {
       ctx.stats.count_attempt(ExecPath::kRh1Fast);
       const bool poison = injector_.fire(ctx.rng_);
+      const bool durable = u_.durable();
       ctx.fast_written_.clear();
+      if (durable) ctx.fast_redo_.clear();  // aborted attempts leave entries behind
+      TmWord fast_wv = 0;
       const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
         if (poison) t.poison();
-        FastHandle h{t, u_.stripes(), ctx.fast_written_};
+        FastHandle h{t, u_.stripes(), ctx.fast_written_,
+                     durable ? &ctx.fast_redo_ : nullptr};
         body(h);
-        fast_commit_stamp(t, ctx.fast_written_);
+        fast_commit_stamp(t, ctx.fast_written_, &fast_wv);
       });
       if (out.ok()) {
+        if (durable && !ctx.fast_written_.empty()) {
+          durable_publish(ctx.fast_redo_, ctx.fast_written_.items(), fast_wv,
+                          pmem::kPathRh1Fast);
+        }
         ctx.stats.count_commit(ExecPath::kRh1Fast);
         ctx.adaptive_streak = 0;
         return;
@@ -158,8 +181,13 @@ class HybridTm {
 
   /// Commit-point publication for the fast path: fresh clock, one stamp
   /// per distinct written stripe, and — only while RH2 readers exist —
-  /// mask checks.
-  void fast_commit_stamp(typename H::Tx& t, const StripeSet& written) {
+  /// mask checks. In durable mode the stamps carry the lock bit: the
+  /// transaction's in-memory effects become visible at _xend, but every
+  /// written stripe stays locked until durable_publish() has logged,
+  /// marked and applied them — so no reader consumes state that is not
+  /// yet on the durable medium. `*wv_out` receives the commit version the
+  /// post-_xend unlock releases to.
+  void fast_commit_stamp(typename H::Tx& t, const StripeSet& written, TmWord* wv_out) {
     if (written.empty()) return;
     if (t.load(rh2_active_) != 0) {
       for (const std::uint32_t s : written.items()) {
@@ -168,9 +196,13 @@ class HybridTm {
     }
     const TmWord wv = t.load(u_.clock().cell()) + 1;
     if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
+    const TmWord stamp = u_.durable()
+                             ? (StripeTable::make_word(wv) | StripeTable::kLockBit)
+                             : StripeTable::make_word(wv);
     for (const std::uint32_t s : written.items()) {
-      t.store(u_.stripes().word(s), StripeTable::make_word(wv));
+      t.store(u_.stripes().word(s), stamp);
     }
+    *wv_out = wv;
   }
 
   // ---------------------------------------------------------------- slow --
@@ -249,8 +281,10 @@ class HybridTm {
   bool rh1_reduced_commit(ThreadCtx& ctx, TmWord rv) {
     if (ctx.ws_.empty()) return true;  // read-only: access-time validation suffices
     StripeTable& st = u_.stripes();
+    const bool durable = u_.durable();
     unsigned tries = 0;
     for (;;) {
+      TmWord wv_out = 0;
       const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
         for (const std::uint32_t s : ctx.rs_.stripes()) {  // distinct by construction
           const TmWord w = t.load(st.word(s));
@@ -261,7 +295,13 @@ class HybridTm {
         const bool check_masks = t.load(rh2_active_) != 0;
         const TmWord wv = t.load(u_.clock().cell()) + 1;
         if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
-        const TmWord stamped = StripeTable::make_word(wv);
+        // Durable: stamp LOCKED inside the hardware transaction, so the
+        // values published at _xend stay unreadable until durable_publish()
+        // has persisted them and unlocked to wv (fine-grained fast-path
+        // locking — the reduced commit stays lock-free in non-durable mode).
+        const TmWord stamped = durable
+                                   ? (StripeTable::make_word(wv) | StripeTable::kLockBit)
+                                   : StripeTable::make_word(wv);
         for (const std::uint32_t s : ctx.ws_.write_stripes()) {  // one stamp per stripe
           if (StripeTable::is_locked(t.load(st.word(s)))) t.abort_explicit();
           if (check_masks && t.load(st.read_mask(s)) != 0) t.abort_explicit();
@@ -270,8 +310,15 @@ class HybridTm {
         for (const WriteEntry& e : ctx.ws_.entries()) {
           t.store(*e.cell, e.value);
         }
+        wv_out = wv;
       });
-      if (out.ok()) return true;
+      if (out.ok()) {
+        if (durable) {
+          durable_publish(ctx.ws_.entries(), ctx.ws_.write_stripes(), wv_out,
+                          pmem::kPathRh1);
+        }
+        return true;
+      }
       if (out.status == HtmStatus::kCapacity) {
         // The reduced commit itself overflowed hardware; the transaction
         // re-executes with visible reads (RH2), so this is a real abort —
@@ -293,12 +340,18 @@ class HybridTm {
   ExecPath rh2_commit(ThreadCtx& ctx, TmWord rv) {
     if (ctx.ws_.empty()) return ExecPath::kRh2Slow;  // visible reads validated at access
     StripeTable& st = u_.stripes();
+    const bool durable = u_.durable();
     unsigned tries = 0;
     for (;;) {
+      TmWord wv_out = 0;
       const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
         const TmWord wv = t.load(u_.clock().cell()) + 1;
         if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
-        const TmWord stamped = StripeTable::make_word(wv);
+        // Same durable discipline as the reduced commit: locked stamps in
+        // hardware, persist + unlock after _xend.
+        const TmWord stamped = durable
+                                   ? (StripeTable::make_word(wv) | StripeTable::kLockBit)
+                                   : StripeTable::make_word(wv);
         for (const std::uint32_t s : ctx.ws_.write_stripes()) {  // one check+stamp each
           const TmWord w = t.load(st.word(s));
           if (StripeTable::is_locked(w) || StripeTable::version_of(w) > rv) {
@@ -312,8 +365,15 @@ class HybridTm {
         for (const WriteEntry& e : ctx.ws_.entries()) {
           t.store(*e.cell, e.value);
         }
+        wv_out = wv;
       });
-      if (out.ok()) return ExecPath::kRh2Slow;
+      if (out.ok()) {
+        if (durable) {
+          durable_publish(ctx.ws_.entries(), ctx.ws_.write_stripes(), wv_out,
+                          pmem::kPathRh2);
+        }
+        return ExecPath::kRh2Slow;
+      }
       if (out.status == HtmStatus::kExplicit) throw detail::StmAbort{AbortCause::kStmValidation};
       if (out.status == HtmStatus::kCapacity || ++tries >= cfg_.commit_retries) {
         if (out.status == HtmStatus::kCapacity) {
@@ -327,6 +387,25 @@ class HybridTm {
       }
       detail::backoff(tries);
     }
+  }
+
+  /// Post-_xend persist sequence shared by the durable hardware commits
+  /// (fast, reduced, RH2). The transaction already published its values and
+  /// LOCKED stripe stamps atomically at _xend; while the locks are held, no
+  /// reader — the durable fast path checks the lock bit, software reads
+  /// validate it — can consume the new state. Log, mark (the durability
+  /// point), apply to the image, then release the locks to the commit
+  /// version. Marker order therefore respects stripe-conflict serialization.
+  /// A crash anywhere in this sequence abandons only in-memory locks (they
+  /// die with the process); recovery replays or discards from the log.
+  template <class Entries, class Stripes>
+  void durable_publish(const Entries& entries, const Stripes& stripes, TmWord wv,
+                       const char* path) {
+    PersistentDomain& pd = u_.pmem();
+    const std::uint64_t txid = pd.durable_log(entries, path);
+    pd.durable_mark(txid, path);
+    pd.durable_apply(entries, path);
+    for (const std::uint32_t s : stripes) u_.stripes().unlock_to(s, wv);
   }
 
   void publish_once(ThreadCtx& ctx, std::uint32_t stripe) {

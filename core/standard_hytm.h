@@ -79,7 +79,12 @@ class StandardHytm {
   void run(ThreadCtx& ctx, Body& body) {
     unsigned attempt = 0;
     unsigned capacity_fails = 0;
-    for (unsigned tries = 0; cfg_.hardware_only || tries < cfg_.max_hw_attempts; ++tries) {
+    // Durable universes go straight to the TL2 fallback (which redo-logs
+    // its write-back); the instrumented hardware handle has no redo capture
+    // and the baseline's contract is not worth complicating — the durable
+    // hardware commit story is HybridTm's (core/rh1.h).
+    for (unsigned tries = 0;
+         !u_.durable() && (cfg_.hardware_only || tries < cfg_.max_hw_attempts); ++tries) {
       ctx.stats.count_attempt(ExecPath::kHtm);
       const bool poison = injector_.fire(ctx.rng_);
       ctx.hw_written_.clear();

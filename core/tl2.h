@@ -124,7 +124,20 @@ inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmW
     release_restore();
     throw StmAbort{AbortCause::kStmValidation};
   }
-  u.htm().nontx_publish(ws.entries());  // one atomic batch, not N racy stores
+  if (u.durable()) {
+    // Log-then-fence-then-apply, stripe locks held across the whole persist
+    // sequence: the commit marker lands in the redo log in stripe-lock
+    // serialization order, and no reader observes the new values (in memory
+    // or in the image) before they are durably marked. RH2's slow-slow
+    // escalation funnels through here too — same path, same kill points.
+    PersistentDomain& pd = u.pmem();
+    const std::uint64_t txid = pd.durable_log(ws.entries(), pmem::kPathTl2);
+    pd.durable_mark(txid, pmem::kPathTl2);
+    u.htm().nontx_publish(ws.entries());  // one atomic batch, not N racy stores
+    pd.durable_apply(ws.entries(), pmem::kPathTl2);
+  } else {
+    u.htm().nontx_publish(ws.entries());  // one atomic batch, not N racy stores
+  }
   for (const std::uint32_t s : locked) st.unlock_to(s, wv);
 }
 

@@ -1,12 +1,16 @@
 #pragma once
 
 // TmUniverse<H> — the shared world every protocol instance runs against:
-// the HTM substrate instance, the striped version-word store, and the
-// global version clock. Benches construct one universe per figure (or per
-// protocol) and instantiate protocols over it.
+// the HTM substrate instance, the striped version-word store, the global
+// version clock, and (when configured durable) the simulated persistent
+// domain every software write-back funnels through. Benches construct one
+// universe per figure (or per protocol) and instantiate protocols over it.
+
+#include <memory>
 
 #include "core/clock.h"
 #include "core/htm_common.h"
+#include "core/pmem.h"
 #include "core/stripe.h"
 
 namespace rhtm {
@@ -15,6 +19,14 @@ struct UniverseConfig {
   HtmConfig htm;
   StripeConfig stripe;
   GvMode gv_mode = GvMode::kGv1;
+  /// Durability mode: every committing write-back is redo-logged, fenced and
+  /// applied to the PersistentDomain's durable image (see core/pmem.h).
+  /// Requires a substrate with real commit atomicity — the durable hardware
+  /// commits stamp their write stripes locked inside the transaction, and a
+  /// substrate that cannot roll stores back (HtmEmul) would abandon those
+  /// locks on abort.
+  bool durable = false;
+  PmemConfig pmem;
 };
 
 template <class H>
@@ -22,7 +34,9 @@ class TmUniverse {
  public:
   TmUniverse() : TmUniverse(UniverseConfig{}) {}
   explicit TmUniverse(const UniverseConfig& cfg)
-      : cfg_(cfg), htm_(cfg.htm), stripes_(cfg.stripe), clock_(cfg.gv_mode) {}
+      : cfg_(cfg), htm_(cfg.htm), stripes_(cfg.stripe), clock_(cfg.gv_mode) {
+    if (cfg_.durable) pmem_ = std::make_unique<PersistentDomain>(cfg_.pmem);
+  }
 
   TmUniverse(const TmUniverse&) = delete;
   TmUniverse& operator=(const TmUniverse&) = delete;
@@ -32,11 +46,18 @@ class TmUniverse {
   [[nodiscard]] StripeTable& stripes() { return stripes_; }
   [[nodiscard]] GlobalVersionClock& clock() { return clock_; }
 
+  /// True when this universe persists commits (cfg.durable). Non-durable
+  /// universes never construct a PersistentDomain and emit zero fences.
+  [[nodiscard]] bool durable() const { return pmem_ != nullptr; }
+  /// The persistent domain; only valid when durable().
+  [[nodiscard]] PersistentDomain& pmem() { return *pmem_; }
+
  private:
   UniverseConfig cfg_;
   H htm_;
   StripeTable stripes_;
   GlobalVersionClock clock_;
+  std::unique_ptr<PersistentDomain> pmem_;
 };
 
 }  // namespace rhtm

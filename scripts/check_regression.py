@@ -45,12 +45,13 @@ def series_points(table, name):
 # The gate is direction-aware: a table's primary metric decides which way a
 # ratio move counts as a regression. Throughput-shaped metrics regress when
 # the ratio DROPS; latency-shaped metrics (the service scenario's open-loop
-# tail percentiles) regress when the ratio RISES — a cheaper RH1 tail must
-# never fail the gate. A primary metric in neither set has no known
-# direction and its table is skipped, but VISIBLY (an info line per table),
-# never silently.
+# tail percentiles) and cost-shaped metrics (the durable scenario's
+# fences-per-commit persistence cost) regress when the ratio RISES — a
+# cheaper RH1 tail or fence bill must never fail the gate. A primary metric
+# in neither set has no known direction and its table is skipped, but
+# VISIBLY (an info line per table), never silently.
 GATED_HIGHER_IS_BETTER = {"total_ops", "ops_per_sec", "achieved_per_sec"}
-GATED_LOWER_IS_BETTER = {"p50_us", "p90_us", "p99_us", "p999_us"}
+GATED_LOWER_IS_BETTER = {"p50_us", "p90_us", "p99_us", "p999_us", "fences_per_commit"}
 
 
 def metric_direction(metric):
@@ -388,6 +389,65 @@ def self_test():
         )
         assert compared == 4, compared
         assert not regressions, regressions
+
+        # fences_per_commit gating: the durable scenario's persistence-cost
+        # tables are lower-is-better too. RH1 paying more fences per commit
+        # relative to TL2 must FAIL; the fence ratio holding (or dropping)
+        # while throughput rides along must PASS.
+        def durable_report(fpc_rh1, fpc_tl2, ops_rh1=300, ops_tl2=100):
+            def tbl(metric, rh1, tl2):
+                return {
+                    "title": f"durable {metric} table",
+                    "style": "sweep",
+                    "x": "threads",
+                    "primary_metric": metric,
+                    "series": [
+                        {
+                            "name": name,
+                            "points": [
+                                {"x": t, "metrics": {metric: v * t}} for t in (1, 2)
+                            ],
+                        }
+                        for name, v in (("RH1-Fast", rh1), ("TL2", tl2))
+                    ],
+                }
+
+            return {
+                "schema": "rhtm-bench-report/v1",
+                "scenario": "durable",
+                "substrate": "sim",
+                "tables": [
+                    tbl("fences_per_commit", fpc_rh1, fpc_tl2),
+                    tbl("total_ops", ops_rh1, ops_tl2),
+                ],
+            }
+
+        dur_old = os.path.join(tmp, "dur_old")
+        dur_ok = os.path.join(tmp, "dur_ok")
+        dur_bad = os.path.join(tmp, "dur_bad")
+        for d in (dur_old, dur_ok, dur_bad):
+            os.mkdir(d)
+
+        def write_dur(dirname, rep):
+            with open(os.path.join(dirname, "BENCH_durable.json"), "w") as f:
+                json.dump(rep, f)
+
+        # Baseline fence ratio 1.0 (the path-independent fence arithmetic);
+        # "ok" halves RH1's fence bill, "bad" doubles it relative to TL2.
+        write_dur(dur_old, durable_report(fpc_rh1=9, fpc_tl2=9))
+        write_dur(dur_ok, durable_report(fpc_rh1=4.5, fpc_tl2=9))
+        write_dur(dur_bad, durable_report(fpc_rh1=18, fpc_tl2=9))
+
+        compared, regressions = compare(dur_old, dur_ok, "RH1-Fast", "TL2", 0.25, sink)
+        assert compared == 4, compared
+        assert not regressions, regressions
+
+        log = io.StringIO()
+        compared, regressions = compare(dur_old, dur_bad, "RH1-Fast", "TL2", 0.25, log)
+        assert compared == 4, compared
+        assert len(regressions) == 2, regressions
+        assert all(r[1] == "durable fences_per_commit table" for r in regressions), regressions
+        assert "[lower-is-better]" in log.getvalue(), log.getvalue()
     print("self-test passed")
     return 0
 

@@ -1,0 +1,139 @@
+#pragma once
+
+// Fork-based crash-recovery harness for the durable commit paths
+// (core/pmem.h). The recipe every crash test follows:
+//
+//   1. The PARENT constructs the durable universe (and the workload's cells)
+//      BEFORE forking. The PersistentDomain's region is MAP_SHARED, so the
+//      child's persists are visible to the parent; the TmCells themselves
+//      are copy-on-write, so the child's in-memory effects are NOT — after
+//      the child dies, the parent's cells still hold their initial values,
+//      i.e. the parent IS the "fresh universe after the power failure".
+//   2. The CHILD arms a kill point (pmem::arm_kill) and runs transactions.
+//      It either completes (_exit(0)) or dies at the armed point with
+//      pmem::kKillExitCode — the simulated power failure, mid-commit.
+//   3. The parent scans the shared redo log (recover_log), replays the
+//      marked transactions into its pristine cells (apply_recovered_cells —
+//      valid because fork preserves addresses), and asserts atomicity +
+//      durability against a sequential oracle.
+//
+// Only substrates with real commit atomicity participate
+// (SubstrateTraits<H>::kAtomic — sim and rtm): the durable hardware commits
+// stamp stripes locked inside the transaction, which HtmEmul's no-rollback
+// emulation cannot undo on abort (the same reason capacity_paths_test
+// bounds its emul leg). Gate tests with `crash::substrate_supported<H>()`.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/htm_common.h"
+#include "core/pmem.h"
+
+namespace rhtm::crash {
+
+enum class ChildOutcome {
+  kCompleted,  ///< child ran to completion (armed point never hit)
+  kKilled,     ///< child died at the armed kill point (kKillExitCode)
+  kFailed,     ///< child exited nonzero / was signalled — a test failure
+};
+
+inline const char* to_string(ChildOutcome o) {
+  switch (o) {
+    case ChildOutcome::kCompleted: return "completed";
+    case ChildOutcome::kKilled: return "killed";
+    case ChildOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+template <class H>
+[[nodiscard]] constexpr bool substrate_supported() {
+  return SubstrateTraits<H>::kAtomic;
+}
+
+/// Forks; the child runs `child_body` and exits 0 (an armed kill point
+/// _exit()s it with kKillExitCode first if hit). Returns how the child
+/// ended. stdio is flushed pre-fork so a dying child cannot double-print
+/// buffered test output.
+template <class ChildBody>
+ChildOutcome run_crash_child(ChildBody&& child_body) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("crash_harness: fork");
+    return ChildOutcome::kFailed;
+  }
+  if (pid == 0) {
+    child_body();
+    _exit(0);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) {
+    std::perror("crash_harness: waitpid");
+    return ChildOutcome::kFailed;
+  }
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    if (code == 0) return ChildOutcome::kCompleted;
+    if (code == pmem::kKillExitCode) return ChildOutcome::kKilled;
+    std::fprintf(stderr, "crash_harness: child exited with %d\n", code);
+  } else if (WIFSIGNALED(status)) {
+    std::fprintf(stderr, "crash_harness: child killed by signal %d\n", WTERMSIG(status));
+  }
+  return ChildOutcome::kFailed;
+}
+
+/// Recovery into the parent's fresh universe: replay the marked log records
+/// into the (pristine, fork-preserved-address) cells they name, in marker
+/// order. Returns the recovery stats; also repairs the domain's durable
+/// image (PersistentDomain::recover) so image and cells agree afterwards.
+inline PersistentDomain::RecoveryStats apply_recovered_cells(PersistentDomain& pd) {
+  const PersistentDomain::RecoveryStats stats = pd.recover();
+  for (const PersistentDomain::RecoveredTxn& t : pd.recover_log()) {
+    for (const PersistentDomain::RecoveredEntry& e : t.entries) {
+      reinterpret_cast<TmCell*>(static_cast<std::uintptr_t>(e.addr))->unsafe_store(e.value);
+    }
+  }
+  return stats;
+}
+
+/// One named kill point: "<path>.<phase>". `durable_phase()` is true when
+/// the commit marker hit the log before the crash — recovery must REPLAY
+/// the in-flight transaction; false means it must DISCARD it.
+struct KillPoint {
+  const char* path;
+  const char* phase;
+  std::size_t phase_index;
+
+  [[nodiscard]] std::string name() const { return std::string(path) + "." + phase; }
+  [[nodiscard]] bool durable_phase() const { return phase_index >= pmem::kFirstDurablePhase; }
+  /// after_log is the only phase where the crashed transaction left a
+  /// visible-but-unmarked data record for recovery to discard.
+  [[nodiscard]] bool leaves_unmarked_record() const { return phase_index == 1; }
+};
+
+/// Every kill point of one path, in commit order.
+inline std::vector<KillPoint> kill_points_of(const char* path) {
+  std::vector<KillPoint> points;
+  for (std::size_t i = 0; i < std::size(pmem::kPhases); ++i) {
+    points.push_back({path, pmem::kPhases[i], i});
+  }
+  return points;
+}
+
+/// The full sweep: every kill point of every durable commit path.
+inline std::vector<KillPoint> all_kill_points() {
+  std::vector<KillPoint> points;
+  for (const char* path : pmem::kPaths) {
+    for (const KillPoint& p : kill_points_of(path)) points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace rhtm::crash

@@ -117,6 +117,20 @@ class AccountStore {
     return sum;
   }
 
+  /// Stable cell address of an account. The durable crash harness keys its
+  /// recovered-redo-log oracle by cell address (tests/crash_harness.h): the
+  /// parent process maps each logged address back to the account it belongs
+  /// to when validating a crashed child's log.
+  [[nodiscard]] const TmCell* account_cell(std::uint64_t account) const {
+    return &balances_[static_cast<std::size_t>(account) % balances_.size()].cell();
+  }
+
+  /// Quiescent per-account read for tests (never concurrent with
+  /// transactions).
+  [[nodiscard]] TmWord unsafe_balance(std::uint64_t account) const {
+    return balances_[static_cast<std::size_t>(account) % balances_.size()].unsafe_read();
+  }
+
   /// Quiescent conservation check for tests (never concurrent with
   /// transactions).
   [[nodiscard]] TmWord unsafe_total() const {
