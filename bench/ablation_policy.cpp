@@ -17,14 +17,15 @@ namespace {
 
 constexpr unsigned kThreads = 4;
 
-template <class Configure>
 void run_policy(const Options& opt, report::SeriesData& series, std::uint32_t inject_bp,
-                Configure&& configure) {
-  TmUniverse<HtmSim> u;
+                CmPolicy policy, unsigned slow_retry_percent) {
+  UniverseConfig ucfg;
+  ucfg.cm.policy = policy;
+  TmUniverse<HtmSim> u(ucfg);
   std::vector<TVar<TmWord>> cells(256);
   typename HybridTm<HtmSim>::Config cfg;
   cfg.inject_abort_bp = inject_bp;
-  configure(cfg);
+  cfg.slow_retry_percent = slow_retry_percent;
   HybridTm<HtmSim> tm(u, cfg);
   const ThroughputResult r = run_throughput(
       tm, kThreads, opt.seconds * 2, [&](auto& m, auto& ctx, Xoshiro256& rng, unsigned) {
@@ -63,13 +64,11 @@ RHTM_SCENARIO(ablation_policy, "§2.3 (A6)",
 
   for (const std::uint32_t inject_bp : {0u, 1000u, 5000u, 10000u}) {
     if (inject_bp < 10000) {
-      run_policy(opt, mixed0, inject_bp, [](auto& cfg) { cfg.slow_retry_percent = 0; });
+      run_policy(opt, mixed0, inject_bp, CmPolicy::kFixed, 0);
     }
-    run_policy(opt, mixed10, inject_bp, [](auto& cfg) { cfg.slow_retry_percent = 10; });
-    run_policy(opt, mixed100, inject_bp, [](auto& cfg) { cfg.slow_retry_percent = 100; });
-    run_policy(opt, adaptive, inject_bp, [](auto& cfg) {
-      cfg.retry_policy = HybridTm<HtmSim>::RetryPolicy::kAdaptive;
-    });
+    run_policy(opt, mixed10, inject_bp, CmPolicy::kFixed, 10);
+    run_policy(opt, mixed100, inject_bp, CmPolicy::kFixed, 100);
+    run_policy(opt, adaptive, inject_bp, CmPolicy::kAdaptive, 100);
   }
   return rep;
 }

@@ -47,6 +47,7 @@ struct Options {
   std::vector<unsigned> threads = {1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
   SubstrateKind substrate = SubstrateKind::kEmul;
   PinMode pin = PinMode::kNone;
+  CmPolicy cm = CmPolicy::kFixed;
   bool full = false;
 
   // Registry-driver flags (bench/run_all.cpp).
@@ -58,8 +59,8 @@ struct Options {
   static void usage(const char* argv0, std::FILE* out) {
     std::fprintf(out,
                  "usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim|rtm]\n"
-                 "          [--pin=none|compact|scatter] [--full]\n"
-                 "          [--list] [--scenario=a,b] [--json-dir=DIR] [--no-json]\n"
+                 "          [--pin=none|compact|scatter] [--cm=fixed|adaptive|aggressive]\n"
+                 "          [--full] [--list] [--scenario=a,b] [--json-dir=DIR] [--no-json]\n"
                  "\n"
                  "  --seconds=S          measurement time per (series, thread-count) point\n"
                  "  --threads=a,b,c      thread counts to sweep\n"
@@ -69,6 +70,9 @@ struct Options {
                  "  --pin=none|compact|scatter\n"
                  "                       worker-thread affinity (compact fills adjacent CPUs,\n"
                  "                       scatter alternates across the CPU id halves)\n"
+                 "  --cm=fixed|adaptive|aggressive\n"
+                 "                       contention-management policy (core/contention.h;\n"
+                 "                       fixed = the paper's coins/budgets, the baseline)\n"
                  "  --full               paper-scale sizes and 1 s points\n"
                  "  --list               list registered scenarios and exit\n"
                  "  --scenario=a,b       run only scenarios whose name contains a token\n"
@@ -123,6 +127,10 @@ struct Options {
         if (!parse_pin_mode(arg.c_str() + 6, &opt.pin)) {
           die("unknown pin mode in", arg);
         }
+      } else if (arg.rfind("--cm=", 0) == 0) {
+        if (!parse_cm_policy(arg.c_str() + 5, &opt.cm)) {
+          die("unknown contention policy in", arg);
+        }
       } else if (arg == "--full") {
         opt.full = true;
         opt.seconds = 1.0;
@@ -154,7 +162,17 @@ struct Options {
   }
 
   [[nodiscard]] const char* substrate_name() const { return to_string(substrate); }
+  [[nodiscard]] const char* cm_name() const { return to_string(cm); }
 };
+
+/// UniverseConfig seeded from the global bench options (today: the
+/// contention-management policy). Scenarios override further fields on the
+/// returned config before constructing their universe.
+[[nodiscard]] inline UniverseConfig universe_config(const Options& opt) {
+  UniverseConfig cfg;
+  cfg.cm.policy = opt.cm;
+  return cfg;
+}
 
 /// Carries the substrate type through the generic dispatch lambda:
 /// `dispatch_substrate(opt, [&]<class H>(SubstrateTag<H>) { ... })`.
@@ -214,6 +232,57 @@ void for_each_available_substrate(Fn&& fn) {
   if (HtmRtm::hardware_viable()) fn(SubstrateTag<HtmRtm>{});
 }
 
+/// Fraction (percent) of hardware speculation thrown away: hardware-cause
+/// aborts per completed transaction, wasted_pct = 100 * hw_aborts /
+/// (hw_aborts + commits). Every hardware abort is a full speculative body
+/// discarded, so this tracks wasted work across protocols regardless of
+/// which path finally committed. 0 for pure-software series.
+[[nodiscard]] inline double wasted_speculation_pct(const TxStats& s) {
+  std::uint64_t hw_aborts = 0;
+  for (const AbortCause c : {AbortCause::kHtmConflict, AbortCause::kHtmCapacity,
+                             AbortCause::kHtmExplicit, AbortCause::kInjected}) {
+    hw_aborts += s.aborts_by_cause[static_cast<std::size_t>(c)];
+  }
+  const double denom = static_cast<double>(hw_aborts + s.commits);
+  return denom > 0 ? 100.0 * static_cast<double>(hw_aborts) / denom : 0.0;
+}
+
+/// PMU plumbing for the rtm substrate: snapshot before a run, delta after.
+/// Compiles to nothing on emul/sim (no hardware counters to read).
+template <class H>
+[[nodiscard]] inline pmu::RtmTotalsSnapshot pmu_snapshot(TmUniverse<H>& universe) {
+  if constexpr (SubstrateTraits<H>::kKind == SubstrateKind::kRtm) {
+    return universe.htm().pmu_totals();
+  } else {
+    (void)universe;
+    return {};
+  }
+}
+
+/// Adds the hardware-measured RTM counters for one run (the delta from
+/// `before`) to a report point. Emits nothing when the PMU was unavailable
+/// — absent keys, not zeros-as-measurements (run_all stamps the reason in
+/// the report meta).
+template <class H>
+inline void add_pmu_metrics(report::Point& p, TmUniverse<H>& universe,
+                            const pmu::RtmTotalsSnapshot& before) {
+  if constexpr (SubstrateTraits<H>::kKind == SubstrateKind::kRtm) {
+    const pmu::RtmTotalsSnapshot now = universe.htm().pmu_totals();
+    if (now.threads_sampled > before.threads_sampled) {
+      p.set("pmu_tx_starts", static_cast<double>(now.tx_starts - before.tx_starts));
+      p.set("pmu_tx_commits", static_cast<double>(now.tx_commits - before.tx_commits));
+      if (now.threads_with_cycles > before.threads_with_cycles) {
+        p.set("pmu_aborted_cycles",
+              static_cast<double>(now.aborted_cycles() - before.aborted_cycles()));
+      }
+    }
+  } else {
+    (void)p;
+    (void)universe;
+    (void)before;
+  }
+}
+
 /// Copies one throughput run into a report point: the headline metrics plus
 /// every non-zero per-path / per-cause counter.
 inline void fill_point(report::Point& p, const ThroughputResult& r) {
@@ -221,6 +290,7 @@ inline void fill_point(report::Point& p, const ThroughputResult& r) {
   p.set("ops_per_sec",
         r.seconds > 0 ? static_cast<double>(r.total_ops) / r.seconds : 0.0);
   p.set("abort_ratio", r.abort_ratio());
+  p.set("wasted_speculation_pct", wasted_speculation_pct(r.stats));
   p.set("commits", static_cast<double>(r.stats.commits));
   p.set("aborts", static_cast<double>(r.stats.aborts));
   p.set("wall_seconds", r.seconds);
@@ -254,6 +324,8 @@ enum class Series {
   kRh1Mix100,    ///< "RH1 Mixed 100": every abort retried on the slow path
   kHybridNorec,  ///< Hybrid NOrec: global-seqlock hybrid (coarse conflicts)
   kPhasedTm,     ///< Phased TM: global hardware/software phase switch
+  kTatas,        ///< TATAS lock elision: global test-and-test-and-set lock,
+                 ///< hardware-elided (the contention scenario's calibration floor)
 };
 
 [[nodiscard]] inline const char* to_string(Series s) {
@@ -266,6 +338,7 @@ enum class Series {
     case Series::kRh1Mix100: return "RH1-Mix100";
     case Series::kHybridNorec: return "HybridNOrec";
     case Series::kPhasedTm: return "PhasedTM";
+    case Series::kTatas: return "TATAS-Elide";
   }
   return "?";
 }
@@ -320,6 +393,12 @@ decltype(auto) with_series_tm(TmUniverse<H>& universe, Series series,
       typename PhasedTm<H>::Config cfg;
       cfg.inject_abort_bp = inject_bp;
       PhasedTm<H> tm(universe, cfg);
+      return fn(tm);
+    }
+    case Series::kTatas: {
+      typename TatasElision<H>::Config cfg;
+      cfg.inject_abort_bp = inject_bp;
+      TatasElision<H> tm(universe, cfg);
       return fn(tm);
     }
     case Series::kTl2: break;
@@ -383,8 +462,10 @@ void run_figure(TmUniverse<H>& universe, report::TableData& table,
         fill_point(p, tl2_result);
         continue;
       }
+      const pmu::RtmTotalsSnapshot pmu0 = pmu_snapshot(universe);
       fill_point(p, run_series_point(universe, series_list[i], threads, opt.seconds,
                                      inject_bp, op, opt.pin));
+      add_pmu_metrics(p, universe, pmu0);
     }
   }
 }

@@ -22,7 +22,7 @@ template <class H>
 void run_no_pressure(const Options& opt, report::BenchReport& rep) {
   ConstantRbTree tree(100'000);
   constexpr unsigned kWritePercent = 20;
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
   report::TableData& table = rep.add_table(
       "ext-hybrids - RB-tree 100K, 20% writes, no software pressure (substrate=" +
       std::string(opt.substrate_name()) + ")");
@@ -85,7 +85,7 @@ void run_capacity_pressure_table(const Options& opt, report::BenchReport& rep) {
 
   for (const unsigned threads : opt.threads) {
     {
-      TmUniverse<H> u;
+      TmUniverse<H> u(universe_config(opt));
       std::vector<TVar<TmWord>> cells(kCells);
       typename HybridTm<H>::Config cfg;
       cfg.slow_retry_percent = 100;
@@ -94,21 +94,21 @@ void run_capacity_pressure_table(const Options& opt, report::BenchReport& rep) {
                  run_throughput(tm, threads, opt.seconds, make_op(cells)));
     }
     {
-      TmUniverse<H> u;
+      TmUniverse<H> u(universe_config(opt));
       std::vector<TVar<TmWord>> cells(kCells);
       HybridNorec<H> tm(u);
       fill_point(table.series[1].add_point(threads),
                  run_throughput(tm, threads, opt.seconds, make_op(cells)));
     }
     {
-      TmUniverse<H> u;
+      TmUniverse<H> u(universe_config(opt));
       std::vector<TVar<TmWord>> cells(kCells);
       PhasedTm<H> tm(u);
       fill_point(table.series[2].add_point(threads),
                  run_throughput(tm, threads, opt.seconds, make_op(cells)));
     }
     {
-      TmUniverse<H> u;
+      TmUniverse<H> u(universe_config(opt));
       std::vector<TVar<TmWord>> cells(kCells);
       Tl2<H> tm(u);
       fill_point(table.series[3].add_point(threads),

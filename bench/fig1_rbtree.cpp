@@ -17,7 +17,7 @@ void run_fig1(const Options& opt, report::BenchReport& rep) {
   ConstantRbTree tree(nodes);
   constexpr unsigned kWritePercent = 20;
 
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
   report::TableData& table = rep.add_table(
       "Figure 1 - 100K Nodes Constant RB-Tree, 20% mutations (substrate=" +
       std::string(opt.substrate_name()) + ", total ops per point)");

@@ -48,7 +48,7 @@ void one_op(Tm& tm, Ctx& ctx, Xoshiro256& rng, TxStats& stats, std::uint64_t& bo
 template <class H>
 void run_breakdowns(const Options& opt, report::BenchReport& rep, ConstantRbTree& tree,
                     unsigned write_percent) {
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
   const double secs = opt.seconds * 2;  // single point per series; can afford more
 
   // Untimed single-thread throughput (for the speedup column).

@@ -15,7 +15,7 @@ namespace {
 template <class H>
 void run_mix(const Options& opt, report::BenchReport& rep, ConstantRbTree& tree,
              unsigned write_percent) {
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
   report::TableData& table = rep.add_table(
       "Figure 2 - 100K Nodes Constant RB-Tree, " + std::to_string(write_percent) +
       "% mutations (substrate=" + std::string(opt.substrate_name()) + ")");

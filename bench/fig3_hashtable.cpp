@@ -20,7 +20,7 @@ void run_fig3_hash(const Options& opt, report::BenchReport& rep) {
   ConstantHashTable table_ds(elems);
   constexpr unsigned kWritePercent = 20;
 
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
   report::TableData& table = rep.add_table(
       std::to_string(elems) + " Elements Constant Hash Table, 20% mutations (substrate=" +
       std::string(opt.substrate_name()) + ") - Figure 3 left");

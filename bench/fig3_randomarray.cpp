@@ -22,7 +22,7 @@ void run_fig3_array(const Options& opt, report::BenchReport& rep) {
   const unsigned threads = opt.threads.empty() ? 20 : opt.threads.back();
   rep.set_meta("threads", std::to_string(threads));
 
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
   report::TableData& table = rep.add_table(
       "Figure 3 right - 128K Random Array, RH1-Fast speedup vs Standard HyTM, " +
           std::to_string(threads) + " threads (substrate=" + opt.substrate_name() + ")",

@@ -18,7 +18,7 @@ void run_fig3_list(const Options& opt, report::BenchReport& rep) {
   ConstantSortedList list(elems);
   constexpr unsigned kWritePercent = 5;
 
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
   report::TableData& table = rep.add_table(
       "1K Nodes Constant Sorted List, 5% mutations (substrate=" +
       std::string(opt.substrate_name()) + ") - Figure 3 middle");

@@ -77,6 +77,15 @@ int registry_main(int argc, char** argv) {
     rep.scenario = s->name;
     rep.seconds = opt.seconds;
     rep.set_meta("pin", to_string(opt.pin));  // affinity is part of a run's geometry
+    rep.set_meta("cm", opt.cm_name());        // so is the contention policy
+    if (opt.substrate == SubstrateKind::kRtm) {
+      // Whether the PMU counters in this report are hardware-measured, or
+      // absent and why (so a diff never mistakes "unavailable" for "zero").
+      pmu::RtmCounters probe;
+      rep.set_meta("pmu", probe.available()
+                              ? "available"
+                              : std::string("unavailable: ") + probe.reason());
+    }
     rep.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     rep.print();

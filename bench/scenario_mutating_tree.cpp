@@ -54,7 +54,7 @@ void run_mutating_tree(const Options& opt, report::BenchReport& rep, std::size_t
 
   {
     auto tree = make_populated_tree(domain);
-    TmUniverse<H> universe;
+    TmUniverse<H> universe(universe_config(opt));
     report::TableData& table = rep.add_table(
         std::to_string(domain / 2) + "-node Mutating RB-Tree (domain " +
         std::to_string(domain) + "), 20% structural mutations, all protocols (substrate=" +
@@ -74,7 +74,7 @@ void run_mutating_tree(const Options& opt, report::BenchReport& rep, std::size_t
       "mutations (-const overwrites in place, -mut rebalances; mut_over_const on -mut rows)");
   {
     ConstantRbTree constant(domain / 2);
-    TmUniverse<H> universe;
+    TmUniverse<H> universe(universe_config(opt));
     auto op = [&](auto& tm, auto& ctx, Xoshiro256& rng, unsigned) {
       const std::uint64_t key = rng.below(domain);
       if (rng.percent_chance(kWritePercent)) {
@@ -89,7 +89,7 @@ void run_mutating_tree(const Options& opt, report::BenchReport& rep, std::size_t
   }
   {
     auto tree = make_populated_tree(domain);
-    TmUniverse<H> universe;
+    TmUniverse<H> universe(universe_config(opt));
     run_figure(universe, cmp, fig1_series, opt,
                mutating_op(*tree, domain, kWritePercent), true, "-mut");
   }

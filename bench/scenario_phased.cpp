@@ -61,7 +61,7 @@ void run_phased_scenario(const Options& opt, report::BenchReport& rep, std::size
     }
   };
 
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
 
   // Whole-schedule TL2 calibration run (it is also the TL2 series' data).
   Tl2<H> tl2(universe);

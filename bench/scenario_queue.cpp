@@ -44,7 +44,7 @@ auto queue_op(const TxnQueue& queue, unsigned threads, unsigned producers) {
 template <class H>
 void run_queue(const Options& opt, report::BenchReport& rep, std::size_t capacity) {
   TxnQueue queue(capacity);
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
 
   // One measurement point shared by both tables' loops: every series (the
   // TL2 calibration run included) starts from a half-full queue — no

@@ -89,7 +89,7 @@ template <class H>
 void run_service(const Options& opt, report::BenchReport& rep) {
   const std::size_t accounts = opt.full ? 8192 : 1024;
   AccountStore store(accounts, /*initial=*/1000, /*shards=*/16);
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
 
   const auto scale = opt.full ? 10.0 : 1.0;
   const unsigned fixed_threads =

@@ -17,7 +17,7 @@ void run_skiplist(const Options& opt, report::BenchReport& rep, std::size_t node
   ConstantSkipList list(nodes);
   constexpr unsigned kWritePercent = 20;
 
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
   report::TableData& table = rep.add_table(
       std::to_string(nodes) + " Nodes Constant Skiplist, 20% mutations, all protocols "
       "(substrate=" + std::string(opt.substrate_name()) + ")");

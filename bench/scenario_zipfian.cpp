@@ -28,7 +28,7 @@ void run_skew(const Options& opt, report::BenchReport& rep, const RandomArray& a
               double theta) {
   const ZipfianGenerator zipf(kArrayWords, theta);
 
-  TmUniverse<H> universe;
+  TmUniverse<H> universe(universe_config(opt));
   report::TableData& table = rep.add_table(
       "128K Zipfian Random Array, theta=" + std::to_string(theta).substr(0, 4) +
       ", len=32, 20% writes, all protocols (substrate=" +

@@ -35,13 +35,19 @@ class HybridNorec {
 
   class ThreadCtx {
    public:
-    explicit ThreadCtx(HybridNorec& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    explicit ThreadCtx(HybridNorec& tm)
+        : tx_(tm.u_.htm()),
+          rng_(detail::next_ctx_seed()),
+          cm_(tm.u_.config().cm,
+              ContentionManager::Limits{0, tm.cfg_.max_hw_attempts,
+                                        tm.cfg_.capacity_retries}) {}
     TxStats stats;
 
    private:
     friend class HybridNorec;
     typename H::Tx tx_;
     Xoshiro256 rng_;
+    ContentionManager cm_;
     WriteSet ws_;
     std::vector<std::pair<const TmCell*, TmWord>> read_log_;  ///< value-based (NOrec)
     std::vector<pmem::CapturedWrite> hw_redo_;  ///< durable: hw-path write capture
@@ -110,10 +116,14 @@ class HybridNorec {
 
   template <class Body>
   void run(ThreadCtx& ctx, Body& body) {
-    unsigned attempt = 0;
-    unsigned capacity_fails = 0;
     const bool durable = u_.durable();
-    for (unsigned tries = 0; tries < cfg_.max_hw_attempts; ++tries) {
+    // max_hw_attempts == 0 disables the hardware path outright (the crash
+    // harness uses it to force the software commit path deterministically).
+    if (cfg_.max_hw_attempts == 0 || ctx.cm_.start_in_software()) {
+      run_software(ctx, body);
+      return;
+    }
+    for (;;) {
       ctx.stats.count_attempt(ExecPath::kHtm);
       const bool poison = injector_.fire(ctx.rng_);
       bool wrote = false;
@@ -142,20 +152,19 @@ class HybridNorec {
           seq_.word.store(seq_held + 2, std::memory_order_release);
         }
         ctx.stats.count_commit(ExecPath::kHtm);
+        ctx.cm_.on_hardware_commit();
         return;
       }
       ctx.stats.count_abort(to_abort_cause(out.status));
-      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
-        break;
-      }
-      detail::backoff(attempt++);
+      if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
+      ctx.cm_.backoff_hardware();
     }
     run_software(ctx, body);
   }
 
   template <class Body>
   void run_software(ThreadCtx& ctx, Body& body) {
-    unsigned attempt = 0;
+    ctx.cm_.begin_software();
     for (;;) {
       ctx.stats.count_attempt(ExecPath::kStm);
       ctx.ws_.clear();
@@ -190,10 +199,11 @@ class HybridNorec {
         }
       } catch (const detail::StmAbort& a) {
         ctx.stats.count_abort(a.cause);
-        detail::backoff(attempt++);
+        ctx.cm_.backoff_software();
         continue;
       }
       ctx.stats.count_commit(ExecPath::kStm);
+      ctx.cm_.on_software_commit();
       return;
     }
   }
@@ -240,13 +250,19 @@ class PhasedTm {
 
   class ThreadCtx {
    public:
-    explicit ThreadCtx(PhasedTm& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    explicit ThreadCtx(PhasedTm& tm)
+        : tx_(tm.u_.htm()),
+          rng_(detail::next_ctx_seed()),
+          cm_(tm.u_.config().cm,
+              ContentionManager::Limits{0, tm.cfg_.max_hw_attempts,
+                                        tm.cfg_.capacity_retries}) {}
     TxStats stats;
 
    private:
     friend class PhasedTm;
     typename H::Tx tx_;
     Xoshiro256 rng_;
+    ContentionManager cm_;
     ReadSet rs_;
     WriteSet ws_;
     std::vector<std::uint32_t> lock_scratch_;
@@ -266,37 +282,37 @@ class PhasedTm {
  private:
   template <class Body>
   void run(ThreadCtx& ctx, Body& body) {
-    unsigned attempt = 0;
-    unsigned capacity_fails = 0;
     // Durable universes always run the software phase: the uninstrumented
     // hardware handle captures no redo, so its commits could not be logged.
     // (HybridTm's fast path shows what a durable hardware phase costs; the
     // phased design's whole point is zero instrumentation, so it opts out.)
-    for (unsigned tries = 0; !u_.durable() && tries < cfg_.max_hw_attempts; ++tries) {
-      if (phase_.word.load(std::memory_order_acquire) != 0) break;  // SW phase active
-      ctx.stats.count_attempt(ExecPath::kHtm);
-      const bool poison = injector_.fire(ctx.rng_);
-      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
-        if (t.load(phase_) != 0) t.abort_explicit();  // subscribe to the phase word
-        if (poison) t.poison();
-        detail::HwPlainHandle<typename H::Tx> h{t};
-        body(h);
-      });
-      if (out.ok()) {
-        ctx.stats.count_commit(ExecPath::kHtm);
-        return;
+    if (!u_.durable() && cfg_.max_hw_attempts > 0 && !ctx.cm_.start_in_software()) {
+      for (;;) {
+        if (phase_.word.load(std::memory_order_acquire) != 0) break;  // SW phase active
+        ctx.stats.count_attempt(ExecPath::kHtm);
+        const bool poison = injector_.fire(ctx.rng_);
+        const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+          if (t.load(phase_) != 0) t.abort_explicit();  // subscribe to the phase word
+          if (poison) t.poison();
+          detail::HwPlainHandle<typename H::Tx> h{t};
+          body(h);
+        });
+        if (out.ok()) {
+          ctx.stats.count_commit(ExecPath::kHtm);
+          ctx.cm_.on_hardware_commit();
+          return;
+        }
+        ctx.stats.count_abort(to_abort_cause(out.status));
+        if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
+        ctx.cm_.backoff_hardware();
       }
-      ctx.stats.count_abort(to_abort_cause(out.status));
-      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
-        break;
-      }
-      detail::backoff(attempt++);
     }
     // Software phase: registering flips (or keeps) the phase word nonzero,
     // which aborts every in-flight hardware transaction and diverts new ones
     // here — the whole system pays STM until the count drains back to zero.
     phase_.word.fetch_add(1, std::memory_order_acq_rel);
-    detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm, body);
+    detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm,
+                    ctx.cm_, body);
     phase_.word.fetch_sub(1, std::memory_order_acq_rel);
   }
 

@@ -78,13 +78,18 @@ class HtmOnly {
 
   class ThreadCtx {
    public:
-    explicit ThreadCtx(HtmOnly& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    explicit ThreadCtx(HtmOnly& tm)
+        : tx_(tm.u_.htm()),
+          rng_(detail::next_ctx_seed()),
+          cm_(tm.u_.config().cm,
+              ContentionManager::Limits{0, 0, tm.cfg_.capacity_retries}) {}
     TxStats stats;
 
    private:
     friend class HtmOnly;
     typename H::Tx tx_;
     Xoshiro256 rng_;
+    ContentionManager cm_;
   };
 
   explicit HtmOnly(TmUniverse<H>& u, Config cfg = {}) : u_(u), cfg_(cfg),
@@ -98,32 +103,34 @@ class HtmOnly {
  private:
   template <class Body>
   void run(ThreadCtx& ctx, Body& body) {
-    unsigned attempt = 0;
-    unsigned capacity_fails = 0;
-    for (;;) {
-      ctx.stats.count_attempt(ExecPath::kHtm);
-      const bool poison = injector_.fire(ctx.rng_);
-      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
-        fallback_.subscribe(t);
-        if (poison) t.poison();
-        detail::HwPlainHandle<typename H::Tx> h{t};
-        body(h);
-      });
-      if (out.ok()) {
-        ctx.stats.count_commit(ExecPath::kHtm);
-        return;
+    if (!ctx.cm_.start_in_software()) {
+      for (;;) {
+        ctx.stats.count_attempt(ExecPath::kHtm);
+        const bool poison = injector_.fire(ctx.rng_);
+        const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+          fallback_.subscribe(t);
+          if (poison) t.poison();
+          detail::HwPlainHandle<typename H::Tx> h{t};
+          body(h);
+        });
+        if (out.ok()) {
+          ctx.stats.count_commit(ExecPath::kHtm);
+          ctx.cm_.on_hardware_commit();
+          return;
+        }
+        ctx.stats.count_abort(to_abort_cause(out.status));
+        // Fixed policy gives up only on deterministic overflow; adaptive may
+        // also retire a hopeless conflict streak to the lock.
+        if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
+        ctx.cm_.backoff_hardware();
       }
-      ctx.stats.count_abort(to_abort_cause(out.status));
-      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
-        break;  // deterministically over budget: go non-speculative
-      }
-      detail::backoff(attempt++);
     }
     fallback_.acquire();
     detail::NonSpecHandle<H> h{u_.htm()};
     body(h);
     fallback_.release();
     ctx.stats.count_commit(ExecPath::kHtm);
+    ctx.cm_.on_software_commit();
   }
 
   TmUniverse<H>& u_;

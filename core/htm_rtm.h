@@ -35,6 +35,7 @@
 #include <cstdlib>
 
 #include "core/htm_common.h"
+#include "core/pmu.h"
 
 #ifndef RHTM_HAVE_RTM
 #if defined(__RTM__)
@@ -95,7 +96,19 @@ class HtmRtm {
 
   class Tx {
    public:
-    explicit Tx(HtmRtm& htm) : htm_(htm) {}
+    /// Opens this thread's RTM PMU counters (protocol thread contexts are
+    /// constructed on their worker thread, so pid=0 counts the right
+    /// thread); unavailable perf degrades to a latched no-op (core/pmu.h).
+    explicit Tx(HtmRtm& htm)
+        : htm_(htm), pmu_(RHTM_HAVE_RTM != 0 && HtmRtm::available()) {}
+
+    Tx(const Tx&) = delete;
+    Tx& operator=(const Tx&) = delete;
+
+    /// Folds this thread's hardware-measured RTM totals into the substrate.
+    ~Tx() {
+      if (pmu_.available()) htm_.pmu_totals_.merge(pmu_.sample());
+    }
 
     /// One mov; the hardware tracks the line. The counter enforces only the
     /// configured ceiling (see header comment).
@@ -137,10 +150,17 @@ class HtmRtm {
     }
 
     HtmRtm& htm_;
+    pmu::RtmCounters pmu_;
     std::size_t reads_ = 0;
     std::size_t writes_ = 0;
     bool poisoned_ = false;
   };
+
+  /// Hardware-measured RTM aggregate (PMU), summed over retired thread
+  /// contexts. threads_sampled == 0 means the PMU was unavailable — the
+  /// benches then mark the counters absent in the report meta instead of
+  /// emitting zeros as if they were measurements.
+  [[nodiscard]] pmu::RtmTotalsSnapshot pmu_totals() const { return pmu_totals_.snapshot(); }
 
   template <class Body>
   HtmOutcome execute(Tx& tx, Body&& body) {
@@ -225,6 +245,7 @@ class HtmRtm {
 
   HtmConfig cfg_;
   detail::PublicationSeqlock pub_;
+  pmu::RtmTotals pmu_totals_;
 };
 
 template <>

@@ -1,0 +1,276 @@
+#pragma once
+
+// PMU-grounded RTM abort attribution: per-thread perf_event_open counters
+// for Intel's RTM retirement events, aggregated into the rtm substrate's
+// stats. The _xbegin status bits already classify each abort's cause; the
+// PMU grounds the *aggregate* in hardware truth — how many transactional
+// regions actually started, how many committed, and how many in-transaction
+// cycles were thrown away on aborted speculation (the hardware's own
+// wasted-work measure, independent of our software counters).
+//
+// Events (raw encodings, Intel SDM Vol 3 ch. 19 — stable across the
+// RTM-capable generations):
+//   RTM_RETIRED.START   event 0xC9 umask 0x01 -> raw config 0x01C9
+//   RTM_RETIRED.COMMIT  event 0xC9 umask 0x02 -> raw config 0x02C9
+//   CPU_CLK_UNHALTED.THREAD_P with the IN_TX flag      (cycles inside RTM)
+//   ... with IN_TX_CP (checkpointed: aborted cycles rolled back)
+// aborted cycles = cycles_in_tx - cycles_in_tx_checkpointed.
+//
+// Graceful unavailable-fallback is the contract: perf may be denied
+// (perf_event_paranoid, seccomp, containers), absent (no PMU, VMs), or the
+// events unsupported (non-Intel, no TSX) — every failure mode leaves the
+// counters marked unavailable and costs one syscall per process (the first
+// failing errno is latched), never a crash and never a changed run. Each
+// counter is opened per-thread (pid=0, any cpu) in its own group, so a
+// partially schedulable PMU degrades per event, not wholesale.
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace rhtm::pmu {
+
+// Raw perf configs (PERF_TYPE_RAW). The IN_TX/IN_TX_CP flags live at bits
+// 32/33 of the raw config in perf's x86 encoding.
+constexpr std::uint64_t kEvtRtmStart = 0x01c9;
+constexpr std::uint64_t kEvtRtmCommit = 0x02c9;
+constexpr std::uint64_t kEvtCyclesInTx = 0x003c | (1ull << 32);
+constexpr std::uint64_t kEvtCyclesInTxCp = 0x003c | (1ull << 32) | (1ull << 33);
+
+/// One reading of a thread's RTM counters. `valid` covers start/commit;
+/// `cycles_valid` the two in-transaction cycle counters (a PMU can support
+/// the former and not the latter).
+struct RtmSample {
+  bool valid = false;
+  bool cycles_valid = false;
+  std::uint64_t tx_starts = 0;
+  std::uint64_t tx_commits = 0;
+  std::uint64_t cycles_in_tx = 0;
+  std::uint64_t cycles_in_tx_cp = 0;
+
+  /// Cycles spent inside transactions that aborted (work thrown away).
+  [[nodiscard]] std::uint64_t aborted_cycles() const {
+    return cycles_in_tx > cycles_in_tx_cp ? cycles_in_tx - cycles_in_tx_cp : 0;
+  }
+};
+
+/// Process-wide aggregate, merged from per-thread counters as protocol
+/// thread contexts retire. Plain-struct snapshots let benches delta a run.
+struct RtmTotalsSnapshot {
+  std::uint64_t threads_sampled = 0;
+  std::uint64_t threads_with_cycles = 0;
+  std::uint64_t tx_starts = 0;
+  std::uint64_t tx_commits = 0;
+  std::uint64_t cycles_in_tx = 0;
+  std::uint64_t cycles_in_tx_cp = 0;
+
+  [[nodiscard]] std::uint64_t aborted_cycles() const {
+    return cycles_in_tx > cycles_in_tx_cp ? cycles_in_tx - cycles_in_tx_cp : 0;
+  }
+};
+
+class RtmTotals {
+ public:
+  void merge(const RtmSample& s) {
+    if (!s.valid) return;
+    threads_sampled_.fetch_add(1, std::memory_order_relaxed);
+    tx_starts_.fetch_add(s.tx_starts, std::memory_order_relaxed);
+    tx_commits_.fetch_add(s.tx_commits, std::memory_order_relaxed);
+    if (s.cycles_valid) {
+      threads_with_cycles_.fetch_add(1, std::memory_order_relaxed);
+      cycles_in_tx_.fetch_add(s.cycles_in_tx, std::memory_order_relaxed);
+      cycles_in_tx_cp_.fetch_add(s.cycles_in_tx_cp, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] RtmTotalsSnapshot snapshot() const {
+    RtmTotalsSnapshot s;
+    s.threads_sampled = threads_sampled_.load(std::memory_order_relaxed);
+    s.threads_with_cycles = threads_with_cycles_.load(std::memory_order_relaxed);
+    s.tx_starts = tx_starts_.load(std::memory_order_relaxed);
+    s.tx_commits = tx_commits_.load(std::memory_order_relaxed);
+    s.cycles_in_tx = cycles_in_tx_.load(std::memory_order_relaxed);
+    s.cycles_in_tx_cp = cycles_in_tx_cp_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> threads_sampled_{0};
+  std::atomic<std::uint64_t> threads_with_cycles_{0};
+  std::atomic<std::uint64_t> tx_starts_{0};
+  std::atomic<std::uint64_t> tx_commits_{0};
+  std::atomic<std::uint64_t> cycles_in_tx_{0};
+  std::atomic<std::uint64_t> cycles_in_tx_cp_{0};
+};
+
+/// Maps a perf_event_open errno to a stable diagnostic (JSON meta value).
+[[nodiscard]] inline const char* open_error_reason(int err) {
+#if defined(__linux__)
+  switch (err) {
+    case EACCES:
+    case EPERM:
+      return "EACCES (perf_event_paranoid or seccomp denies perf_event_open)";
+    case ENOENT: return "ENOENT (event not supported on this PMU)";
+    case ENODEV: return "ENODEV (no PMU exposed, likely a VM)";
+    case EOPNOTSUPP: return "EOPNOTSUPP (PMU feature unavailable)";
+    case EINVAL: return "EINVAL (event encoding rejected)";
+    case ENOSYS: return "ENOSYS (kernel without perf_event_open)";
+    default: return "perf_event_open failed";
+  }
+#else
+  (void)err;
+  return "perf_event_open is Linux-only";
+#endif
+}
+
+/// Per-thread RTM counter set. Open one per protocol thread context (worker
+/// threads construct their own contexts, so pid=0 counts the right thread);
+/// sample() reads the running totals; the destructor closes the fds.
+class RtmCounters {
+ public:
+  /// Test seam: opens one counter for `config`, returns an fd >= 0 or
+  /// -errno. The default implementation is the real perf_event_open.
+  using OpenFn = int (*)(std::uint64_t config);
+
+  /// `try_open=false` constructs a permanently-unavailable instance at zero
+  /// cost (non-rtm builds, substrates without hardware). The real opener
+  /// latches the first failing errno process-wide, so in denied
+  /// environments only the first thread pays the syscall.
+  explicit RtmCounters(bool try_open = true) {
+    if (!try_open) {
+      reason_ = "not requested (no RTM hardware in use)";
+      return;
+    }
+    const int latched = latched_errno().load(std::memory_order_relaxed);
+    if (latched != 0) {
+      reason_ = open_error_reason(latched);
+      return;
+    }
+    open_all(&default_open, /*latch=*/true);
+  }
+
+  /// Injected-opener constructor (tests): no process-wide latching.
+  explicit RtmCounters(OpenFn opener) { open_all(opener, /*latch=*/false); }
+
+  RtmCounters(const RtmCounters&) = delete;
+  RtmCounters& operator=(const RtmCounters&) = delete;
+
+  ~RtmCounters() {
+#if defined(__linux__)
+    for (const int fd : {fd_start_, fd_commit_, fd_cyc_, fd_cyc_cp_}) {
+      if (fd >= 0) ::close(fd);
+    }
+#endif
+  }
+
+  /// True when start/commit counters are live (cycles may still be absent).
+  [[nodiscard]] bool available() const { return fd_start_ >= 0 && fd_commit_ >= 0; }
+  [[nodiscard]] bool cycles_available() const { return fd_cyc_ >= 0 && fd_cyc_cp_ >= 0; }
+  /// Why the counters are unavailable (static string; valid when !available).
+  [[nodiscard]] const char* reason() const { return reason_; }
+
+  /// The first errno the real opener hit in this process, 0 if none.
+  [[nodiscard]] static int first_open_errno() {
+    return latched_errno().load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] RtmSample sample() const {
+    RtmSample s;
+    if (!available()) return s;
+    s.valid = read_u64(fd_start_, &s.tx_starts) && read_u64(fd_commit_, &s.tx_commits);
+    if (s.valid && cycles_available()) {
+      s.cycles_valid =
+          read_u64(fd_cyc_, &s.cycles_in_tx) && read_u64(fd_cyc_cp_, &s.cycles_in_tx_cp);
+    }
+    return s;
+  }
+
+ private:
+  void open_all(OpenFn opener, bool latch) {
+#if defined(__linux__)
+    fd_start_ = opener(kEvtRtmStart);
+    if (fd_start_ < 0) {
+      fail(-fd_start_, latch);
+      fd_start_ = -1;
+      return;
+    }
+    fd_commit_ = opener(kEvtRtmCommit);
+    if (fd_commit_ < 0) {
+      fail(-fd_commit_, latch);
+      ::close(fd_start_);
+      fd_start_ = -1;
+      fd_commit_ = -1;
+      return;
+    }
+    // Cycle counters are best-effort: some PMUs schedule the RTM retirement
+    // events but reject the IN_TX cycle flags.
+    fd_cyc_ = opener(kEvtCyclesInTx);
+    fd_cyc_cp_ = fd_cyc_ >= 0 ? opener(kEvtCyclesInTxCp) : -1;
+    if (fd_cyc_cp_ < 0) {
+      if (fd_cyc_ >= 0) ::close(fd_cyc_);
+      fd_cyc_ = -1;
+      fd_cyc_cp_ = -1;
+    }
+#else
+    (void)opener;
+    (void)latch;
+    reason_ = "perf_event_open is Linux-only";
+#endif
+  }
+
+  void fail(int err, bool latch) {
+    reason_ = open_error_reason(err);
+    if (latch) {
+      int expected = 0;
+      latched_errno().compare_exchange_strong(expected, err, std::memory_order_relaxed);
+    }
+  }
+
+  static std::atomic<int>& latched_errno() {
+    static std::atomic<int> e{0};
+    return e;
+  }
+
+  static bool read_u64(int fd, std::uint64_t* out) {
+#if defined(__linux__)
+    return ::read(fd, out, sizeof(*out)) == static_cast<ssize_t>(sizeof(*out));
+#else
+    (void)fd;
+    (void)out;
+    return false;
+#endif
+  }
+
+#if defined(__linux__)
+  static int default_open(std::uint64_t config) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.type = PERF_TYPE_RAW;
+    attr.size = sizeof attr;
+    attr.config = config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    const long fd = ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0ul);
+    return fd >= 0 ? static_cast<int>(fd) : -errno;
+  }
+#else
+  static int default_open(std::uint64_t) { return -1; }
+#endif
+
+  int fd_start_ = -1;
+  int fd_commit_ = -1;
+  int fd_cyc_ = -1;
+  int fd_cyc_cp_ = -1;
+  const char* reason_ = "";
+};
+
+}  // namespace rhtm::pmu

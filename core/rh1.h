@@ -30,10 +30,12 @@
 // stripe-locked commit, mask-respecting. Needs no hardware at all.
 //
 // Mixed-mode policy (§2.3): an aborted fast transaction retries in
-// hardware; with probability `slow_retry_percent` it falls back to the
-// slow path instead. `RetryPolicy::kAdaptive` replaces the fixed coin with
-// a failure-streak heuristic that skips doomed hardware attempts entirely
-// and re-probes periodically.
+// hardware; the per-thread ContentionManager (core/contention.h) decides
+// when to fall back to the slow path instead. Under the default kFixed
+// policy that is exactly the paper's `slow_retry_percent` coin; kAdaptive
+// replaces the coin with abort-density-derived escalation thresholds and a
+// software mode that skips doomed hardware attempts and re-probes
+// periodically; kAggressive holds on to hardware.
 
 #include <cstdint>
 #include <utility>
@@ -47,37 +49,38 @@ namespace rhtm {
 template <class H>
 class HybridTm {
  public:
-  enum class RetryPolicy { kMixed, kAdaptive };
-
   struct Config {
     std::uint32_t inject_abort_bp = 0;
     unsigned slow_retry_percent = 100;  ///< Mixed-N: % of aborts retried in software
     bool force_slow_path = false;       ///< breakdown bench: software body + HTM commit
     bool force_rh2 = false;             ///< ablation A4: visible-read slow mode
-    RetryPolicy retry_policy = RetryPolicy::kMixed;
     unsigned commit_retries = 8;        ///< reduced-commit conflict retries
     unsigned capacity_retries = 2;      ///< fast-path capacity aborts before fallback
-    unsigned adaptive_streak = 2;       ///< failures before adaptive goes software
-    unsigned adaptive_probe_period = 64;  ///< software txs between hardware probes
   };
 
   class ThreadCtx {
    public:
-    explicit ThreadCtx(HybridTm& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    explicit ThreadCtx(HybridTm& tm)
+        : tx_(tm.u_.htm()),
+          rng_(detail::next_ctx_seed()),
+          cm_(tm.u_.config().cm,
+              ContentionManager::Limits{tm.cfg_.slow_retry_percent, 0,
+                                        tm.cfg_.capacity_retries}) {}
     TxStats stats;
+    /// The per-thread retry/escalation policy engine (tests introspect it).
+    [[nodiscard]] ContentionManager& cm() { return cm_; }
 
    private:
     friend class HybridTm;
     typename H::Tx tx_;
     Xoshiro256 rng_;
+    ContentionManager cm_;
     ReadSet rs_;
     WriteSet ws_;
     StripeSet fast_written_;  ///< distinct stripes the fast path stamps
     std::vector<pmem::CapturedWrite> fast_redo_;  ///< durable: fast-path write capture
     std::vector<std::uint32_t> lock_scratch_;
     StripeSet masks_;  ///< stripes with our RH2 read mask published (O(1) self test)
-    unsigned adaptive_streak = 0;
-    unsigned adaptive_since_probe = 0;
   };
 
   explicit HybridTm(TmUniverse<H>& u, Config cfg = {})
@@ -128,16 +131,10 @@ class HybridTm {
       run_slow(ctx, body, cfg_.force_rh2);
       return;
     }
-    if (cfg_.retry_policy == RetryPolicy::kAdaptive &&
-        ctx.adaptive_streak >= cfg_.adaptive_streak) {
-      if (++ctx.adaptive_since_probe < cfg_.adaptive_probe_period) {
-        run_slow(ctx, body, false);  // skip the doomed hardware attempt
-        return;
-      }
-      ctx.adaptive_since_probe = 0;  // probe hardware again this once
+    if (ctx.cm_.start_in_software()) {
+      run_slow(ctx, body, false);  // adaptive software mode: skip doomed hardware
+      return;
     }
-    unsigned attempt = 0;
-    unsigned capacity_fails = 0;
     for (;;) {
       ctx.stats.count_attempt(ExecPath::kRh1Fast);
       const bool poison = injector_.fire(ctx.rng_);
@@ -158,24 +155,15 @@ class HybridTm {
                           pmem::kPathRh1Fast);
         }
         ctx.stats.count_commit(ExecPath::kRh1Fast);
-        ctx.adaptive_streak = 0;
+        ctx.cm_.on_hardware_commit();
         return;
       }
       ctx.stats.count_abort(to_abort_cause(out.status));
-      bool go_slow = false;
-      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
-        go_slow = true;  // deterministic overflow: retrying in hardware is futile
-      } else if (cfg_.retry_policy == RetryPolicy::kAdaptive) {
-        go_slow = ++ctx.adaptive_streak >= cfg_.adaptive_streak;
-      } else if (cfg_.slow_retry_percent > 0 &&
-                 ctx.rng_.percent_chance(cfg_.slow_retry_percent)) {
-        go_slow = true;
-      }
-      if (go_slow) {
+      if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) {
         run_slow(ctx, body, false);
         return;
       }
-      detail::backoff(attempt++);
+      ctx.cm_.backoff_hardware();
     }
   }
 
@@ -226,7 +214,7 @@ class HybridTm {
 
   template <class Body>
   void run_slow(ThreadCtx& ctx, Body& body, bool rh2) {
-    unsigned attempt = 0;
+    ctx.cm_.begin_software();
     for (;;) {
       const ExecPath path = rh2 ? ExecPath::kRh2Slow : ExecPath::kRh1Slow;
       ctx.stats.count_attempt(path);
@@ -261,9 +249,10 @@ class HybridTm {
       } catch (const detail::StmAbort& a) {
         ctx.stats.count_abort(a.cause);
         u_.clock().on_abort();
-        detail::backoff(attempt++);
+        ctx.cm_.backoff_software();
         continue;
       }
+      ctx.cm_.on_software_commit();
       return;
     }
   }
@@ -286,8 +275,13 @@ class HybridTm {
     for (;;) {
       TmWord wv_out = 0;
       const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
-        for (const std::uint32_t s : ctx.rs_.stripes()) {  // distinct by construction
-          const TmWord w = t.load(st.word(s));
+        const auto& read_stripes = ctx.rs_.stripes();  // distinct by construction
+        for (std::size_t i = 0; i < read_stripes.size(); ++i) {
+          // Hide the next validation load's miss behind this one's check:
+          // the stripe list is exact-deduped insertion order, so the walk
+          // has no stride the hardware prefetcher could learn.
+          if (i + 1 < read_stripes.size()) st.prefetch_word(read_stripes[i + 1]);
+          const TmWord w = t.load(st.word(read_stripes[i]));
           if (StripeTable::is_locked(w) || StripeTable::version_of(w) > rv) {
             t.abort_explicit();
           }
@@ -302,7 +296,12 @@ class HybridTm {
         const TmWord stamped = durable
                                    ? (StripeTable::make_word(wv) | StripeTable::kLockBit)
                                    : StripeTable::make_word(wv);
-        for (const std::uint32_t s : ctx.ws_.write_stripes()) {  // one stamp per stripe
+        const auto& write_stripes = ctx.ws_.write_stripes();  // one stamp per stripe
+        for (std::size_t i = 0; i < write_stripes.size(); ++i) {
+          if (i + 1 < write_stripes.size()) {
+            st.prefetch_word(write_stripes[i + 1], /*for_write=*/true);
+          }
+          const std::uint32_t s = write_stripes[i];
           if (StripeTable::is_locked(t.load(st.word(s)))) t.abort_explicit();
           if (check_masks && t.load(st.read_mask(s)) != 0) t.abort_explicit();
           t.store(st.word(s), stamped);
@@ -329,7 +328,7 @@ class HybridTm {
       if (out.status == HtmStatus::kExplicit || ++tries >= cfg_.commit_retries) {
         throw detail::StmAbort{AbortCause::kStmValidation};
       }
-      detail::backoff(tries);
+      ctx.cm_.backoff_commit(tries);
     }
   }
 
@@ -385,7 +384,7 @@ class HybridTm {
         detail::tl2_software_commit(u_, ctx.rs_, ctx.ws_, rv, ctx.lock_scratch_, &ctx.masks_);
         return ExecPath::kRh2SlowSlow;
       }
-      detail::backoff(tries);
+      ctx.cm_.backoff_commit(tries);
     }
   }
 

@@ -14,16 +14,19 @@
 
 #include "core/cell.h"
 #include "core/clock.h"
+#include "core/contention.h"
 #include "core/ext_hybrids.h"
 #include "core/htm_emul.h"
 #include "core/htm_only.h"
 #include "core/htm_rtm.h"
 #include "core/htm_sim.h"
+#include "core/pmu.h"
 #include "core/rh1.h"
 #include "core/rng.h"
 #include "core/standard_hytm.h"
 #include "core/stats.h"
 #include "core/stripe.h"
+#include "core/tatas.h"
 #include "core/tl2.h"
 #include "core/universe.h"
 

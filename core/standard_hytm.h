@@ -32,13 +32,20 @@ class StandardHytm {
 
   class ThreadCtx {
    public:
-    explicit ThreadCtx(StandardHytm& tm) : tx_(tm.u_.htm()), rng_(detail::next_ctx_seed()) {}
+    explicit ThreadCtx(StandardHytm& tm)
+        : tx_(tm.u_.htm()),
+          rng_(detail::next_ctx_seed()),
+          cm_(tm.u_.config().cm,
+              ContentionManager::Limits{
+                  0, tm.cfg_.hardware_only ? 0 : tm.cfg_.max_hw_attempts,
+                  tm.cfg_.capacity_retries}) {}
     TxStats stats;
 
    private:
     friend class StandardHytm;
     typename H::Tx tx_;
     Xoshiro256 rng_;
+    ContentionManager cm_;
     ReadSet rs_;
     WriteSet ws_;
     std::vector<std::uint32_t> lock_scratch_;
@@ -77,39 +84,42 @@ class StandardHytm {
 
   template <class Body>
   void run(ThreadCtx& ctx, Body& body) {
-    unsigned attempt = 0;
-    unsigned capacity_fails = 0;
     // Durable universes go straight to the TL2 fallback (which redo-logs
     // its write-back); the instrumented hardware handle has no redo capture
     // and the baseline's contract is not worth complicating — the durable
     // hardware commit story is HybridTm's (core/rh1.h).
-    for (unsigned tries = 0;
-         !u_.durable() && (cfg_.hardware_only || tries < cfg_.max_hw_attempts); ++tries) {
-      ctx.stats.count_attempt(ExecPath::kHtm);
-      const bool poison = injector_.fire(ctx.rng_);
-      ctx.hw_written_.clear();
-      const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
-        fallback_.subscribe(t);
-        if (poison) t.poison();
-        HwHandle h{t, u_.stripes(), ctx.hw_written_};
-        body(h);
-        publish_stamps(t, ctx.hw_written_);
-      });
-      if (out.ok()) {
-        ctx.stats.count_commit(ExecPath::kHtm);
-        return;
-      }
-      ctx.stats.count_abort(to_abort_cause(out.status));
-      if (out.status == HtmStatus::kCapacity && ++capacity_fails >= cfg_.capacity_retries) {
-        if (cfg_.hardware_only) {
-          run_under_lock(ctx, body);
+    if (!u_.durable() && (cfg_.hardware_only || cfg_.max_hw_attempts > 0) &&
+        !ctx.cm_.start_in_software()) {
+      for (;;) {
+        ctx.stats.count_attempt(ExecPath::kHtm);
+        const bool poison = injector_.fire(ctx.rng_);
+        ctx.hw_written_.clear();
+        const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+          fallback_.subscribe(t);
+          if (poison) t.poison();
+          HwHandle h{t, u_.stripes(), ctx.hw_written_};
+          body(h);
+          publish_stamps(t, ctx.hw_written_);
+        });
+        if (out.ok()) {
+          ctx.stats.count_commit(ExecPath::kHtm);
+          ctx.cm_.on_hardware_commit();
           return;
         }
-        break;  // over budget: software fallback
+        ctx.stats.count_abort(to_abort_cause(out.status));
+        if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
+        ctx.cm_.backoff_hardware();
       }
-      detail::backoff(attempt++);
     }
-    detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm, body);
+    if (!u_.durable() && cfg_.hardware_only) {
+      // No STM fallback in hardware-only mode: capacity overflow (and, under
+      // the adaptive policy, a hopeless conflict streak) takes the
+      // non-speculative lock for liveness.
+      run_under_lock(ctx, body);
+      return;
+    }
+    detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm,
+                    ctx.cm_, body);
   }
 
   /// Commit-point stamping: re-read the clock inside the transaction so the
@@ -131,6 +141,7 @@ class StandardHytm {
     body(h);
     fallback_.release();
     ctx.stats.count_commit(ExecPath::kHtm);
+    ctx.cm_.on_software_commit();
   }
 
   TmUniverse<H>& u_;

@@ -159,11 +159,8 @@ inline void cpu_relax() {
 #endif
 }
 
-/// Bounded exponential backoff between transaction retries.
-inline void backoff(unsigned attempt) {
-  const unsigned shift = attempt < 10 ? attempt : 10;
-  for (unsigned i = 0; i < (1u << shift); ++i) cpu_relax();
-}
+// Retry backoff moved to core/contention.h (ContentionManager::backoff_*,
+// detail::exponential_spin); stats.h is pure counters + cpu_relax again.
 
 /// Distinct seed for each protocol ThreadCtx RNG (deterministic sequence).
 inline std::uint64_t next_ctx_seed() {

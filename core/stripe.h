@@ -58,6 +58,25 @@ class StripeTable {
   [[nodiscard]] TmCell& word(std::size_t i) { return words_[i]; }
   [[nodiscard]] TmCell& read_mask(std::size_t i) { return read_masks_[i]; }
 
+  /// Software prefetch of a stripe's version word. The commit loops walk
+  /// exact-deduped stripe lists whose words are scattered across the table
+  /// (index_of hashes), so every iteration is a fresh cache miss the
+  /// hardware stride prefetcher cannot predict; issuing the next index's
+  /// prefetch one iteration ahead overlaps that miss with the current
+  /// check/stamp. `for_write` hints exclusive ownership (stamp loops).
+  void prefetch_word(std::size_t i, bool for_write = false) const {
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(RHTM_NO_PREFETCH)
+    if (for_write) {
+      __builtin_prefetch(static_cast<const void*>(&words_[i]), 1, 3);
+    } else {
+      __builtin_prefetch(static_cast<const void*>(&words_[i]), 0, 3);
+    }
+#else
+    (void)i;
+    (void)for_write;
+#endif
+  }
+
   static constexpr TmWord version_of(TmWord w) { return w >> 1; }
   static constexpr bool is_locked(TmWord w) { return (w & kLockBit) != 0; }
   static constexpr TmWord make_word(TmWord version) { return version << 1; }

@@ -1,0 +1,115 @@
+#pragma once
+
+// TatasElision — the classic lock-elision baseline: one global
+// test-and-test-and-set spinlock protecting every transaction, with
+// hardware transactions eliding it. A hardware attempt runs the body
+// uninstrumented after subscribing to the lock word (reading it
+// transactionally, aborting if held — so a real acquisition conflicts every
+// elided transaction out); the fallback is simply taking the lock.
+//
+// This is the calibration floor for the hybrids: it has no STM, no stripe
+// metadata, and no concurrency in the fallback — all parallelism comes from
+// successful elision, so its throughput curve isolates what the
+// ContentionManager's retry decisions are worth before any TM machinery is
+// added. Like HtmOnly it is not durable-capable (nothing captures a redo
+// log) and ignores universe durability mode.
+
+#include <cstdint>
+
+#include "core/htm_only.h"
+#include "core/stats.h"
+#include "core/universe.h"
+
+namespace rhtm {
+
+template <class H>
+class TatasElision {
+ public:
+  struct Config {
+    std::uint32_t inject_abort_bp = 0;
+    unsigned max_hw_attempts = 8;   ///< elision retries before taking the lock
+    unsigned capacity_retries = 2;  ///< capacity aborts before taking the lock
+  };
+
+  class ThreadCtx {
+   public:
+    explicit ThreadCtx(TatasElision& tm)
+        : tx_(tm.u_.htm()),
+          rng_(detail::next_ctx_seed()),
+          cm_(tm.u_.config().cm,
+              ContentionManager::Limits{0, tm.cfg_.max_hw_attempts,
+                                        tm.cfg_.capacity_retries}) {}
+    TxStats stats;
+
+   private:
+    friend class TatasElision;
+    typename H::Tx tx_;
+    Xoshiro256 rng_;
+    ContentionManager cm_;
+  };
+
+  explicit TatasElision(TmUniverse<H>& u, Config cfg = {})
+      : u_(u), cfg_(cfg), injector_(cfg.inject_abort_bp) {}
+
+  template <class Body>
+  void atomically(ThreadCtx& ctx, Body&& body) {
+    detail::timed_section(ctx.stats, [&] { run(ctx, body); });
+  }
+
+  /// Exposed for tests: true while some thread holds the lock.
+  [[nodiscard]] bool lock_held() const { return (lock_.unsafe_load() & 1) != 0; }
+
+ private:
+  template <class Body>
+  void run(ThreadCtx& ctx, Body& body) {
+    if (!ctx.cm_.start_in_software()) {
+      for (;;) {
+        ctx.stats.count_attempt(ExecPath::kHtm);
+        const bool poison = injector_.fire(ctx.rng_);
+        const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
+          // Elision subscription: the lock word joins the read set, so an
+          // acquire (word goes odd) aborts every in-flight elided body.
+          if ((t.load(lock_) & 1) != 0) t.abort_explicit();
+          if (poison) t.poison();
+          detail::HwPlainHandle<typename H::Tx> h{t};
+          body(h);
+        });
+        if (out.ok()) {
+          ctx.stats.count_commit(ExecPath::kHtm);
+          ctx.cm_.on_hardware_commit();
+          return;
+        }
+        ctx.stats.count_abort(to_abort_cause(out.status));
+        if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
+        ctx.cm_.backoff_hardware();
+      }
+    }
+    acquire();
+    detail::NonSpecHandle<H> h{u_.htm()};
+    body(h);
+    release();
+    ctx.stats.count_commit(ExecPath::kHtm);
+    ctx.cm_.on_software_commit();
+  }
+
+  /// Test-and-test-and-set: spin on plain loads (shared line, no coherence
+  /// storm) and attempt the RMW only when the lock reads free.
+  void acquire() {
+    for (;;) {
+      TmWord s = lock_.word.load(std::memory_order_acquire);
+      if ((s & 1) == 0 &&
+          lock_.word.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel)) {
+        return;
+      }
+      detail::cpu_relax();
+    }
+  }
+  void release() { lock_.word.fetch_add(1, std::memory_order_acq_rel); }
+
+  TmUniverse<H>& u_;
+  Config cfg_;
+  AbortInjector injector_;
+  TmCell lock_;  ///< seqlock-shaped: odd = held; every bump aborts subscribers
+};
+
+}  // namespace rhtm

@@ -103,6 +103,11 @@ inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmW
     for (std::size_t i = 0; i < acquired; ++i) st.unlock_restore(locked[i]);
   };
   for (; acquired < locked.size(); ++acquired) {
+    // The sorted stripe indices hash to scattered table words; prefetch the
+    // next lock word (exclusive) so its miss overlaps this CAS.
+    if (acquired + 1 < locked.size()) {
+      st.prefetch_word(locked[acquired + 1], /*for_write=*/true);
+    }
     if (!st.try_lock(locked[acquired])) {
       release_restore();
       throw StmAbort{AbortCause::kStmLocked};
@@ -141,12 +146,14 @@ inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmW
   for (const std::uint32_t s : locked) st.unlock_to(s, wv);
 }
 
-/// Full TL2 transaction loop: retry until the body runs and commits.
+/// Full TL2 transaction loop: retry until the body runs and commits. The
+/// caller's ContentionManager shapes the inter-retry backoff (for pure
+/// software paths only the backoff shape applies; escalation is a no-op).
 template <class H, class Body>
 inline void tl2_run(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws,
                     std::vector<std::uint32_t>& lock_scratch, TxStats& stats, ExecPath path,
-                    Body& body) {
-  unsigned attempt = 0;
+                    ContentionManager& cm, Body& body) {
+  cm.begin_software();
   for (;;) {
     stats.count_attempt(path);
     rs.clear();
@@ -159,10 +166,11 @@ inline void tl2_run(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws,
     } catch (const StmAbort& a) {
       stats.count_abort(a.cause);
       u.clock().on_abort();
-      backoff(attempt++);
+      cm.backoff_software();
       continue;
     }
     stats.count_commit(path);
+    cm.on_software_commit();
     return;
   }
 }
@@ -176,11 +184,13 @@ class Tl2 {
 
   class ThreadCtx {
    public:
-    explicit ThreadCtx(Tl2&) {}
+    explicit ThreadCtx(Tl2& tm)
+        : cm_(tm.u_.config().cm, ContentionManager::Limits{}) {}
     TxStats stats;
 
    private:
     friend class Tl2;
+    ContentionManager cm_;
     ReadSet rs_;
     WriteSet ws_;
     std::vector<std::uint32_t> lock_scratch_;
@@ -191,7 +201,8 @@ class Tl2 {
   template <class Body>
   void atomically(ThreadCtx& ctx, Body&& body) {
     detail::timed_section(ctx.stats, [&] {
-      detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm, body);
+      detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm,
+                      ctx.cm_, body);
     });
   }
 

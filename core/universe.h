@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "core/clock.h"
+#include "core/contention.h"
 #include "core/htm_common.h"
 #include "core/pmem.h"
 #include "core/stripe.h"
@@ -19,6 +20,11 @@ struct UniverseConfig {
   HtmConfig htm;
   StripeConfig stripe;
   GvMode gv_mode = GvMode::kGv1;
+  /// Contention management: retry/backoff/escalation policy applied by every
+  /// protocol ThreadCtx constructed over this universe (see core/contention.h;
+  /// --cm= bench flag). kFixed is bit-compatible with the historical coins
+  /// and budgets.
+  CmConfig cm;
   /// Durability mode: every committing write-back is redo-logged, fenced and
   /// applied to the PersistentDomain's durable image (see core/pmem.h).
   /// Requires a substrate with real commit atomicity — the durable hardware

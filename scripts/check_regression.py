@@ -51,7 +51,14 @@ def series_points(table, name):
 # in neither set has no known direction and its table is skipped, but
 # VISIBLY (an info line per table), never silently.
 GATED_HIGHER_IS_BETTER = {"total_ops", "ops_per_sec", "achieved_per_sec"}
-GATED_LOWER_IS_BETTER = {"p50_us", "p90_us", "p99_us", "p999_us", "fences_per_commit"}
+GATED_LOWER_IS_BETTER = {
+    "p50_us",
+    "p90_us",
+    "p99_us",
+    "p999_us",
+    "fences_per_commit",
+    "wasted_speculation_pct",
+}
 
 
 def metric_direction(metric):
@@ -447,6 +454,74 @@ def self_test():
         assert compared == 4, compared
         assert len(regressions) == 2, regressions
         assert all(r[1] == "durable fences_per_commit table" for r in regressions), regressions
+        assert "[lower-is-better]" in log.getvalue(), log.getvalue()
+        # wasted_speculation_pct gating: the contention scenario's
+        # wasted-work view tables are lower-is-better. The adaptive policy
+        # burning MORE speculation relative to the fixed baseline must FAIL;
+        # burning less must PASS. Gated with the contention scenario's own
+        # series pair (adaptive vs fixed), not RH1-Fast/TL2.
+        def contention_report(w_adaptive, w_fixed, ops_adaptive=300, ops_fixed=100):
+            def tbl(metric, adaptive, fixed):
+                return {
+                    "title": f"contention {metric} table",
+                    "style": "sweep",
+                    "x": "threads",
+                    "primary_metric": metric,
+                    "series": [
+                        {
+                            "name": name,
+                            "points": [
+                                {"x": t, "metrics": {metric: v * t}} for t in (1, 2)
+                            ],
+                        }
+                        for name, v in (
+                            ("RH1-Mix100/adaptive", adaptive),
+                            ("RH1-Mix100/fixed", fixed),
+                        )
+                    ],
+                }
+
+            return {
+                "schema": "rhtm-bench-report/v1",
+                "scenario": "contention",
+                "substrate": "sim",
+                "tables": [
+                    tbl("wasted_speculation_pct", w_adaptive, w_fixed),
+                    tbl("total_ops", ops_adaptive, ops_fixed),
+                ],
+            }
+
+        cm_old = os.path.join(tmp, "cm_old")
+        cm_ok = os.path.join(tmp, "cm_ok")
+        cm_bad = os.path.join(tmp, "cm_bad")
+        for d in (cm_old, cm_ok, cm_bad):
+            os.mkdir(d)
+
+        def write_cm(dirname, rep):
+            with open(os.path.join(dirname, "BENCH_contention.json"), "w") as f:
+                json.dump(rep, f)
+
+        # Baseline: adaptive wastes half of what fixed does (ratio 0.5);
+        # "ok" drops the ratio further, "bad" pushes it past the bound.
+        write_cm(cm_old, contention_report(w_adaptive=10, w_fixed=20))
+        write_cm(cm_ok, contention_report(w_adaptive=5, w_fixed=20))
+        write_cm(cm_bad, contention_report(w_adaptive=20, w_fixed=20))
+
+        compared, regressions = compare(
+            cm_old, cm_ok, "RH1-Mix100/adaptive", "RH1-Mix100/fixed", 0.25, sink
+        )
+        assert compared == 4, compared
+        assert not regressions, regressions
+
+        log = io.StringIO()
+        compared, regressions = compare(
+            cm_old, cm_bad, "RH1-Mix100/adaptive", "RH1-Mix100/fixed", 0.25, log
+        )
+        assert compared == 4, compared
+        assert len(regressions) == 2, regressions
+        assert all(
+            r[1] == "contention wasted_speculation_pct table" for r in regressions
+        ), regressions
         assert "[lower-is-better]" in log.getvalue(), log.getvalue()
     print("self-test passed")
     return 0

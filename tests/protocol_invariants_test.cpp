@@ -135,9 +135,10 @@ void rh2_forced_bank() {
 
 template <class H>
 void rh1_adaptive_bank() {
-  TmUniverse<H> u;
+  UniverseConfig ucfg;
+  ucfg.cm.policy = CmPolicy::kAdaptive;
+  TmUniverse<H> u(ucfg);
   typename HybridTm<H>::Config cfg;
-  cfg.retry_policy = HybridTm<H>::RetryPolicy::kAdaptive;
   cfg.inject_abort_bp = 5000;
   HybridTm<H> tm(u, cfg);
   bank_test(tm, 4);
