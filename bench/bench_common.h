@@ -29,6 +29,10 @@
 #include <string>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "core/report.h"
 #include "core/rhtm.h"
 #include "workloads/driver.h"
@@ -56,11 +60,20 @@ struct Options {
   std::string json_dir = ".";
   std::vector<std::string> scenario_filter;
 
+  // Observability flags (core/trace.h, core/timeseries.h).
+  std::string trace_path;              ///< --trace=<file>[:cap]; empty = off
+  std::size_t trace_cap = 1 << 14;     ///< per-thread ring capacity (events)
+  double timeline_interval = 0;        ///< --timeline=<ms> sampler period; 0 = off
+  /// The run-owned tracer, installed by run_all after parsing; scenarios
+  /// receive it through universe_config(opt). Non-owning.
+  trace::Tracer* tracer = nullptr;
+
   static void usage(const char* argv0, std::FILE* out) {
     std::fprintf(out,
                  "usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim|rtm]\n"
                  "          [--pin=none|compact|scatter] [--cm=fixed|adaptive|aggressive]\n"
                  "          [--full] [--list] [--scenario=a,b] [--json-dir=DIR] [--no-json]\n"
+                 "          [--trace=FILE[:CAP]] [--timeline=MS]\n"
                  "\n"
                  "  --seconds=S          measurement time per (series, thread-count) point\n"
                  "  --threads=a,b,c      thread counts to sweep\n"
@@ -77,7 +90,12 @@ struct Options {
                  "  --list               list registered scenarios and exit\n"
                  "  --scenario=a,b       run only scenarios whose name contains a token\n"
                  "  --json-dir=DIR       directory for BENCH_<scenario>.json (default .)\n"
-                 "  --no-json            skip writing the JSON reports\n",
+                 "  --no-json            skip writing the JSON reports\n"
+                 "  --trace=FILE[:CAP]   record per-thread transaction event traces and\n"
+                 "                       write Chrome/Perfetto trace JSON to FILE; CAP =\n"
+                 "                       per-thread ring capacity in events (default 16384)\n"
+                 "  --timeline=MS        sample throughput/abort/tier metrics every MS ms\n"
+                 "                       into a `timeline` array in BENCH_<scenario>.json\n",
                  argv0);
   }
 
@@ -151,6 +169,29 @@ struct Options {
         if (opt.json_dir.empty()) die("empty directory in", arg);
       } else if (arg == "--no-json") {
         opt.write_json = false;
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        std::string spec = arg.substr(8);
+        // FILE[:CAP] — only the LAST ':' can start a capacity suffix, and
+        // only when what follows is a pure number (so paths with ':' work).
+        const std::size_t colon = spec.rfind(':');
+        if (colon != std::string::npos && colon + 1 < spec.size()) {
+          char* end = nullptr;
+          const unsigned long cap = std::strtoul(spec.c_str() + colon + 1, &end, 10);
+          if (*end == '\0') {
+            if (cap == 0) die("bad ring capacity in", arg);
+            opt.trace_cap = static_cast<std::size_t>(cap);
+            spec.resize(colon);
+          }
+        }
+        if (spec.empty()) die("empty file in", arg);
+        opt.trace_path = spec;
+      } else if (arg.rfind("--timeline=", 0) == 0) {
+        char* end = nullptr;
+        const double ms = std::strtod(arg.c_str() + 11, &end);
+        if (end == arg.c_str() + 11 || *end != '\0' || !(ms > 0)) {
+          die("bad value for --timeline in", arg);
+        }
+        opt.timeline_interval = ms / 1000.0;
       } else if (arg == "--help") {
         usage(argv[0], stdout);
         std::exit(0);
@@ -165,13 +206,68 @@ struct Options {
   [[nodiscard]] const char* cm_name() const { return to_string(cm); }
 };
 
-/// UniverseConfig seeded from the global bench options (today: the
-/// contention-management policy). Scenarios override further fields on the
-/// returned config before constructing their universe.
+/// UniverseConfig seeded from the global bench options (the contention-
+/// management policy and the run's tracer). Scenarios override further
+/// fields on the returned config before constructing their universe.
 [[nodiscard]] inline UniverseConfig universe_config(const Options& opt) {
   UniverseConfig cfg;
   cfg.cm.policy = opt.cm;
+  cfg.tracer = opt.tracer;
   return cfg;
+}
+
+// ---------------------------------------------------------- provenance --
+// Stamped into every BENCH_*.json meta so check_regression.py artifact
+// diffs can report WHAT changed between two runs (compiler, flags, commit,
+// host, substrate availability), not just the throughput ratio.
+
+#ifndef RHTM_GIT_SHA
+#define RHTM_GIT_SHA "unknown"  // CMake injects the configure-time HEAD SHA
+#endif
+#ifndef RHTM_BUILD_FLAGS
+#define RHTM_BUILD_FLAGS "unknown"  // CMake injects build type + CXX flags
+#endif
+
+/// Compiler id + version, from the predefined macros of the active compiler.
+[[nodiscard]] inline std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Which substrates this binary+host can actually run: emul and sim always;
+/// rtm reported as compiled-out, cpu-unsupported, non-viable or viable.
+[[nodiscard]] inline std::string substrate_availability() {
+  std::string s = "emul,sim";
+  if (!substrate_compiled(SubstrateKind::kRtm)) {
+    s += ",rtm:not-compiled";
+  } else if (!HtmRtm::available()) {
+    s += ",rtm:no-cpu-support";
+  } else if (!HtmRtm::hardware_viable()) {
+    s += ",rtm:not-viable";
+  } else {
+    s += ",rtm:viable";
+  }
+  return s;
+}
+
+/// Stamps the provenance meta block into a report (run_all applies it to
+/// every scenario's report before printing/writing).
+inline void stamp_provenance(report::BenchReport& rep) {
+  rep.set_meta("git_sha", RHTM_GIT_SHA);
+  rep.set_meta("compiler", compiler_id());
+  rep.set_meta("build_flags", RHTM_BUILD_FLAGS);
+#if !defined(_WIN32)
+  char host[256] = {};
+  if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    rep.set_meta("hostname", host);
+  }
+#endif
+  rep.set_meta("substrates", substrate_availability());
 }
 
 /// Carries the substrate type through the generic dispatch lambda:

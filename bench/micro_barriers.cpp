@@ -67,6 +67,32 @@ void protocol_row(const Options& opt, report::TableData& table, const char* name
   }
 }
 
+// Tracing-overhead series: the same barrier loop, once with no tracer (the
+// disabled path — one predictable null-check branch per emission point) and
+// once with a live tracer recording every event. The ISSUE's acceptance bar
+// is that the untraced rows above stay within noise of the pre-trace
+// baseline; these rows quantify what turning the recorder ON costs.
+template <class Tm>
+void tracing_row(const Options& opt, report::TableData& table, const char* name) {
+  report::SeriesData& series = table.add_series(name);
+  report::Point& p = series.add_point(static_cast<double>(kAccesses));
+  double off = 0, on = 0;
+  {
+    TmUniverse<HtmEmul> u;
+    off = reads_ns_per_access<Tm>(opt, u);
+  }
+  {
+    trace::Tracer tracer;
+    UniverseConfig cfg;
+    cfg.tracer = &tracer;
+    TmUniverse<HtmEmul> u(cfg);
+    on = reads_ns_per_access<Tm>(opt, u);
+  }
+  p.set("read_ns_per_access", off);
+  p.set("read_ns_per_access_traced", on);
+  p.set("overhead_pct", off > 0 ? (on - off) / off * 100.0 : 0.0);
+}
+
 }  // namespace
 
 RHTM_SCENARIO(micro_barriers, "—",
@@ -81,6 +107,13 @@ RHTM_SCENARIO(micro_barriers, "—",
   protocol_row<EmulHybridTm>(opt, table, "RH1-Fast");
   protocol_row<EmulStandardHytm>(opt, table, "StandardHyTM");
   protocol_row<EmulTl2>(opt, table, "TL2");
+
+  report::TableData& overhead =
+      rep.add_table("Microbench - trace recorder overhead (emul, read path)",
+                    report::TableStyle::kWide, "accesses", "overhead_pct");
+  tracing_row<EmulHtmOnly>(opt, overhead, "HTM");
+  tracing_row<EmulHybridTm>(opt, overhead, "RH1-Fast");
+  tracing_row<EmulTl2>(opt, overhead, "TL2");
   return rep;
 }
 

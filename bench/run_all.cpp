@@ -15,6 +15,7 @@
 // so it is the same driver restricted to the scenarios linked in.
 
 #include <chrono>
+#include <memory>
 #include <string_view>
 
 #include "registry.h"
@@ -31,11 +32,38 @@ bool name_matches(const Options& opt, const char* name) {
   return false;
 }
 
+// Flight-recorder state for the anomaly hook (trace::set_anomaly_hook takes
+// a plain function pointer, so the tracer and path live in TU statics). The
+// hook best-effort dumps whatever the rings hold at the moment of the
+// anomaly — it may run on the way into _exit(), where nothing else will.
+trace::Tracer* g_run_tracer = nullptr;
+std::string g_run_trace_path;
+
+void dump_trace_on_anomaly(const char* reason) {
+  if (g_run_tracer == nullptr || g_run_trace_path.empty()) return;
+  std::fprintf(stderr, "# trace: anomaly '%s' — dumping flight recorder to %s\n",
+               reason, g_run_trace_path.c_str());
+  (void)trace::write_chrome_json(*g_run_tracer, g_run_trace_path);
+}
+
 }  // namespace
 
 int registry_main(int argc, char** argv) {
-  const Options opt = Options::parse(argc, argv);
+  Options opt = Options::parse(argc, argv);
   const std::vector<Scenario> scenarios = Registry::instance().sorted();
+
+  // The run-wide flight recorder: one tracer across every selected scenario
+  // (rings accumulate per ThreadCtx; the export is one Perfetto document).
+  std::unique_ptr<trace::Tracer> tracer;
+  if (!opt.trace_path.empty()) {
+    trace::TracerConfig tcfg;
+    tcfg.ring_capacity = opt.trace_cap;
+    tracer = std::make_unique<trace::Tracer>(tcfg);
+    opt.tracer = tracer.get();
+    g_run_tracer = tracer.get();
+    g_run_trace_path = opt.trace_path;
+    trace::set_anomaly_hook(&dump_trace_on_anomaly);
+  }
 
   if (opt.list) {
     std::printf("%-20s %-14s %s\n", "scenario", "paper", "summary");
@@ -73,9 +101,23 @@ int registry_main(int argc, char** argv) {
     first = false;
     std::printf("## %s (%s)\n", s->name, s->paper_ref);
     const auto t0 = std::chrono::steady_clock::now();
+    // Fresh sampler per scenario, installed for the duration of its run so
+    // every driver's workers (workloads/driver.h) report into it.
+    std::unique_ptr<timeseries::MetricsSampler> sampler;
+    if (opt.timeline_interval > 0) {
+      sampler = std::make_unique<timeseries::MetricsSampler>(opt.timeline_interval);
+      timeseries::g_sampler.store(sampler.get(), std::memory_order_release);
+      sampler->start();
+    }
     report::BenchReport rep = s->run(opt);
+    if (sampler != nullptr) {
+      timeseries::g_sampler.store(nullptr, std::memory_order_release);
+      sampler->stop();
+      rep.timeline = sampler->timeline_points();
+    }
     rep.scenario = s->name;
     rep.seconds = opt.seconds;
+    stamp_provenance(rep);                    // what built/ran this (artifact diffs)
     rep.set_meta("pin", to_string(opt.pin));  // affinity is part of a run's geometry
     rep.set_meta("cm", opt.cm_name());        // so is the contention policy
     if (opt.substrate == SubstrateKind::kRtm) {
@@ -98,6 +140,19 @@ int registry_main(int argc, char** argv) {
       }
       std::printf("# wrote %s\n", path.c_str());
     }
+  }
+
+  if (tracer != nullptr) {
+    if (!trace::write_chrome_json(*tracer, opt.trace_path)) {
+      std::fprintf(stderr, "%s: cannot write trace to '%s'\n", argv[0],
+                   opt.trace_path.c_str());
+      return 1;
+    }
+    std::printf("# wrote trace %s (%llu events, %llu dropped, %zu rings)\n",
+                opt.trace_path.c_str(),
+                static_cast<unsigned long long>(tracer->total_events()),
+                static_cast<unsigned long long>(tracer->total_dropped()),
+                tracer->ring_count());
   }
   return 0;
 }

@@ -47,6 +47,7 @@
 
 #include "core/rng.h"
 #include "core/stats.h"
+#include "core/trace.h"
 
 namespace rhtm {
 
@@ -105,16 +106,6 @@ inline void exponential_spin(unsigned step, unsigned cap_shift) {
   for (unsigned i = 0; i < (1u << shift); ++i) cpu_relax();
 }
 
-/// Deprecated alias for the pre-contention-layer entry point, kept for one
-/// PR so out-of-tree callers keep compiling. Core code goes through a
-/// ContentionManager (or exponential_spin for protocol-internal commit
-/// retries) instead; core/stats.h is pure counters again.
-[[deprecated("moved to core/contention.h; use ContentionManager::backoff_* "
-             "or detail::exponential_spin")]]
-inline void backoff(unsigned attempt) {
-  exponential_spin(attempt, 10);
-}
-
 }  // namespace detail
 
 /// Per-thread contention manager. One instance per protocol ThreadCtx;
@@ -140,6 +131,11 @@ class ContentionManager {
   [[nodiscard]] CmPolicy policy() const { return cfg_.policy; }
   [[nodiscard]] const Limits& limits() const { return lim_; }
 
+  /// Attaches the owning ThreadCtx's trace ring (null = no tracing). The
+  /// manager then records its mode decisions — software-mode enter/exit
+  /// and hardware re-probes — as cm:* events on that ring.
+  void set_trace(trace::TraceRing* r) { trace_ = r; }
+
   /// Start of a transaction: resets the per-transaction attempt counters
   /// and decides whether to skip hardware entirely this transaction.
   /// Adaptive only: after sw_streak consecutive hardware failures the
@@ -152,6 +148,7 @@ class ContentionManager {
     if (streak_ < cfg_.sw_streak) return false;
     if (++since_probe_ >= cfg_.probe_period) {
       since_probe_ = 0;  // probe hardware again this once
+      trace::cm_event(trace_, trace::EventKind::kSwModeProbe);
       return false;
     }
     return true;
@@ -165,6 +162,9 @@ class ContentionManager {
     ++tx_attempts_;
     last_cause_ = cause;
     ++streak_;
+    if (cfg_.policy == CmPolicy::kAdaptive && streak_ == cfg_.sw_streak) {
+      trace::cm_event(trace_, trace::EventKind::kSwModeEnter);
+    }
     ewma_bp_ += (10000 - ewma_bp_) >> cfg_.ewma_shift;
     // Deterministic overflow: retrying an over-budget transaction in
     // hardware is futile under every policy.
@@ -187,6 +187,9 @@ class ContentionManager {
   /// A hardware transaction committed: the streak breaks, the abort
   /// density decays, and software mode (if any) ends.
   void on_hardware_commit() {
+    if (cfg_.policy == CmPolicy::kAdaptive && streak_ >= cfg_.sw_streak) {
+      trace::cm_event(trace_, trace::EventKind::kSwModeExit);
+    }
     streak_ = 0;
     since_probe_ = 0;
     ewma_bp_ -= ewma_bp_ >> cfg_.ewma_shift;
@@ -274,6 +277,7 @@ class ContentionManager {
 
   CmConfig cfg_;
   Limits lim_;
+  trace::TraceRing* trace_ = nullptr;
   // Per-transaction state (reset by start_in_software).
   unsigned tx_attempts_ = 0;
   unsigned tx_capacity_ = 0;

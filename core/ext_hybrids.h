@@ -40,7 +40,10 @@ class HybridNorec {
           rng_(detail::next_ctx_seed()),
           cm_(tm.u_.config().cm,
               ContentionManager::Limits{0, tm.cfg_.max_hw_attempts,
-                                        tm.cfg_.capacity_retries}) {}
+                                        tm.cfg_.capacity_retries}),
+          trace_(tm.u_.acquire_trace_ring()) {
+      cm_.set_trace(trace_);
+    }
     TxStats stats;
 
    private:
@@ -48,6 +51,7 @@ class HybridNorec {
     typename H::Tx tx_;
     Xoshiro256 rng_;
     ContentionManager cm_;
+    trace::TraceRing* trace_;
     WriteSet ws_;
     std::vector<std::pair<const TmCell*, TmWord>> read_log_;  ///< value-based (NOrec)
     std::vector<pmem::CapturedWrite> hw_redo_;  ///< durable: hw-path write capture
@@ -116,6 +120,7 @@ class HybridNorec {
 
   template <class Body>
   void run(ThreadCtx& ctx, Body& body) {
+    trace::tx_begin(ctx.trace_);
     const bool durable = u_.durable();
     // max_hw_attempts == 0 disables the hardware path outright (the crash
     // harness uses it to force the software commit path deterministically).
@@ -125,6 +130,7 @@ class HybridNorec {
     }
     for (;;) {
       ctx.stats.count_attempt(ExecPath::kHtm);
+      trace::attempt(ctx.trace_, ExecPath::kHtm);
       const bool poison = injector_.fire(ctx.rng_);
       bool wrote = false;
       if (durable) ctx.hw_redo_.clear();  // aborted attempts leave entries behind
@@ -146,19 +152,28 @@ class HybridNorec {
       if (out.ok()) {
         if (durable && wrote) {
           PersistentDomain& pd = u_.pmem();
+          const std::uint64_t t0 = rdtsc();
           const std::uint64_t txid = pd.durable_log(ctx.hw_redo_, pmem::kPathNorecHw);
+          const std::uint64_t t1 = rdtsc();
+          trace::durable_phase(ctx.trace_, trace::EventKind::kDurLog, t1 - t0);
           pd.durable_mark(txid, pmem::kPathNorecHw);
+          const std::uint64_t t2 = rdtsc();
+          trace::durable_phase(ctx.trace_, trace::EventKind::kDurMark, t2 - t1);
           pd.durable_apply(ctx.hw_redo_, pmem::kPathNorecHw);
+          trace::durable_phase(ctx.trace_, trace::EventKind::kDurApply, rdtsc() - t2);
           seq_.word.store(seq_held + 2, std::memory_order_release);
         }
         ctx.stats.count_commit(ExecPath::kHtm);
+        trace::commit(ctx.trace_, ExecPath::kHtm);
         ctx.cm_.on_hardware_commit();
         return;
       }
       ctx.stats.count_abort(to_abort_cause(out.status));
+      trace::abort(ctx.trace_, to_abort_cause(out.status));
       if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
       ctx.cm_.backoff_hardware();
     }
+    trace::escalate(ctx.trace_, ExecPath::kStm);
     run_software(ctx, body);
   }
 
@@ -167,6 +182,7 @@ class HybridNorec {
     ctx.cm_.begin_software();
     for (;;) {
       ctx.stats.count_attempt(ExecPath::kStm);
+      trace::attempt(ctx.trace_, ExecPath::kStm);
       ctx.ws_.clear();
       ctx.read_log_.clear();
       TmWord snapshot = wait_quiescent();
@@ -187,11 +203,17 @@ class HybridNorec {
             // before values become visible, apply before release — readers
             // never consume a value that is not yet durably marked.
             PersistentDomain& pd = u_.pmem();
+            const std::uint64_t t0 = rdtsc();
             const std::uint64_t txid =
                 pd.durable_log(ctx.ws_.entries(), pmem::kPathNorecSw);
+            const std::uint64_t t1 = rdtsc();
+            trace::durable_phase(ctx.trace_, trace::EventKind::kDurLog, t1 - t0);
             pd.durable_mark(txid, pmem::kPathNorecSw);
+            trace::durable_phase(ctx.trace_, trace::EventKind::kDurMark, rdtsc() - t1);
             u_.htm().nontx_publish(ctx.ws_.entries());
+            const std::uint64_t t2 = rdtsc();
             pd.durable_apply(ctx.ws_.entries(), pmem::kPathNorecSw);
+            trace::durable_phase(ctx.trace_, trace::EventKind::kDurApply, rdtsc() - t2);
           } else {
             u_.htm().nontx_publish(ctx.ws_.entries());
           }
@@ -199,10 +221,12 @@ class HybridNorec {
         }
       } catch (const detail::StmAbort& a) {
         ctx.stats.count_abort(a.cause);
+        trace::abort(ctx.trace_, a.cause);
         ctx.cm_.backoff_software();
         continue;
       }
       ctx.stats.count_commit(ExecPath::kStm);
+      trace::commit(ctx.trace_, ExecPath::kStm);
       ctx.cm_.on_software_commit();
       return;
     }
@@ -255,7 +279,10 @@ class PhasedTm {
           rng_(detail::next_ctx_seed()),
           cm_(tm.u_.config().cm,
               ContentionManager::Limits{0, tm.cfg_.max_hw_attempts,
-                                        tm.cfg_.capacity_retries}) {}
+                                        tm.cfg_.capacity_retries}),
+          trace_(tm.u_.acquire_trace_ring()) {
+      cm_.set_trace(trace_);
+    }
     TxStats stats;
 
    private:
@@ -263,6 +290,7 @@ class PhasedTm {
     typename H::Tx tx_;
     Xoshiro256 rng_;
     ContentionManager cm_;
+    trace::TraceRing* trace_;
     ReadSet rs_;
     WriteSet ws_;
     std::vector<std::uint32_t> lock_scratch_;
@@ -286,10 +314,12 @@ class PhasedTm {
     // hardware handle captures no redo, so its commits could not be logged.
     // (HybridTm's fast path shows what a durable hardware phase costs; the
     // phased design's whole point is zero instrumentation, so it opts out.)
+    trace::tx_begin(ctx.trace_);
     if (!u_.durable() && cfg_.max_hw_attempts > 0 && !ctx.cm_.start_in_software()) {
       for (;;) {
         if (phase_.word.load(std::memory_order_acquire) != 0) break;  // SW phase active
         ctx.stats.count_attempt(ExecPath::kHtm);
+        trace::attempt(ctx.trace_, ExecPath::kHtm);
         const bool poison = injector_.fire(ctx.rng_);
         const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
           if (t.load(phase_) != 0) t.abort_explicit();  // subscribe to the phase word
@@ -299,10 +329,12 @@ class PhasedTm {
         });
         if (out.ok()) {
           ctx.stats.count_commit(ExecPath::kHtm);
+          trace::commit(ctx.trace_, ExecPath::kHtm);
           ctx.cm_.on_hardware_commit();
           return;
         }
         ctx.stats.count_abort(to_abort_cause(out.status));
+        trace::abort(ctx.trace_, to_abort_cause(out.status));
         if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
         ctx.cm_.backoff_hardware();
       }
@@ -310,9 +342,10 @@ class PhasedTm {
     // Software phase: registering flips (or keeps) the phase word nonzero,
     // which aborts every in-flight hardware transaction and diverts new ones
     // here — the whole system pays STM until the count drains back to zero.
+    trace::escalate(ctx.trace_, ExecPath::kStm);
     phase_.word.fetch_add(1, std::memory_order_acq_rel);
     detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm,
-                    ctx.cm_, body);
+                    ctx.cm_, ctx.trace_, body);
     phase_.word.fetch_sub(1, std::memory_order_acq_rel);
   }
 

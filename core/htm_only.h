@@ -82,7 +82,10 @@ class HtmOnly {
         : tx_(tm.u_.htm()),
           rng_(detail::next_ctx_seed()),
           cm_(tm.u_.config().cm,
-              ContentionManager::Limits{0, 0, tm.cfg_.capacity_retries}) {}
+              ContentionManager::Limits{0, 0, tm.cfg_.capacity_retries}),
+          trace_(tm.u_.acquire_trace_ring()) {
+      cm_.set_trace(trace_);
+    }
     TxStats stats;
 
    private:
@@ -90,6 +93,7 @@ class HtmOnly {
     typename H::Tx tx_;
     Xoshiro256 rng_;
     ContentionManager cm_;
+    trace::TraceRing* trace_;
   };
 
   explicit HtmOnly(TmUniverse<H>& u, Config cfg = {}) : u_(u), cfg_(cfg),
@@ -103,9 +107,11 @@ class HtmOnly {
  private:
   template <class Body>
   void run(ThreadCtx& ctx, Body& body) {
+    trace::tx_begin(ctx.trace_);
     if (!ctx.cm_.start_in_software()) {
       for (;;) {
         ctx.stats.count_attempt(ExecPath::kHtm);
+        trace::attempt(ctx.trace_, ExecPath::kHtm);
         const bool poison = injector_.fire(ctx.rng_);
         const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
           fallback_.subscribe(t);
@@ -115,21 +121,25 @@ class HtmOnly {
         });
         if (out.ok()) {
           ctx.stats.count_commit(ExecPath::kHtm);
+          trace::commit(ctx.trace_, ExecPath::kHtm);
           ctx.cm_.on_hardware_commit();
           return;
         }
         ctx.stats.count_abort(to_abort_cause(out.status));
+        trace::abort(ctx.trace_, to_abort_cause(out.status));
         // Fixed policy gives up only on deterministic overflow; adaptive may
         // also retire a hopeless conflict streak to the lock.
         if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
         ctx.cm_.backoff_hardware();
       }
     }
+    trace::fallback_lock(ctx.trace_);
     fallback_.acquire();
     detail::NonSpecHandle<H> h{u_.htm()};
     body(h);
     fallback_.release();
     ctx.stats.count_commit(ExecPath::kHtm);
+    trace::commit(ctx.trace_, ExecPath::kHtm);
     ctx.cm_.on_software_commit();
   }
 

@@ -73,6 +73,7 @@
 #endif
 
 #include "core/cell.h"
+#include "core/trace.h"
 
 namespace rhtm {
 
@@ -138,6 +139,9 @@ inline void kill_point(const char* path, const char* phase) {
     return;
   }
   if (g_kill_countdown.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Flight-recorder dump before the simulated power failure: _exit skips
+    // every destructor, so this hook is the trace's only way out.
+    trace::anomaly(armed);
 #if defined(_WIN32)
     std::_Exit(kKillExitCode);
 #else
@@ -449,8 +453,9 @@ class PersistentDomain {
     }
     const std::uint64_t head = h.log_head.load(std::memory_order_relaxed);
     if (head + words > cfg_.log_words) {
-      h.log_overflow.store(1, std::memory_order_relaxed);
+      const std::uint64_t was = h.log_overflow.exchange(1, std::memory_order_relaxed);
       h.log_lock.store(0, std::memory_order_release);
+      if (was == 0) trace::anomaly("redo_log_overflow");  // first transition only
       return nullptr;
     }
     return log_ + head;

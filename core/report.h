@@ -270,6 +270,11 @@ struct BenchReport {
   double wall_seconds = 0;  ///< filled by the registry runner
   std::vector<std::pair<std::string, std::string>> meta;
   std::deque<TableData> tables;  ///< deque: add_table references stay valid
+  /// Interval snapshots from the metrics sampler (core/timeseries.h):
+  /// x = seconds since sampling started, metrics = per-interval rates and
+  /// cumulative totals. Empty (the default, --timeline off) emits no JSON
+  /// field at all, so the schema stays byte-compatible with older readers.
+  std::vector<Point> timeline;
 
   TableData& add_table(std::string title, TableStyle style = TableStyle::kSweep,
                        std::string x_name = "threads",
@@ -322,6 +327,24 @@ struct BenchReport {
       json_escape(out, meta[i].second);
     }
     out += meta.empty() ? "},\n" : "\n  },\n";
+    if (!timeline.empty()) {
+      out += "  \"timeline\": [";
+      for (std::size_t p = 0; p < timeline.size(); ++p) {
+        const Point& point = timeline[p];
+        out += p == 0 ? "\n" : ",\n";
+        out += "    { \"t\": ";
+        json_number(out, point.x);
+        out += ", \"metrics\": {";
+        for (std::size_t m = 0; m < point.metrics.size(); ++m) {
+          out += m == 0 ? " " : ", ";
+          json_escape(out, point.metrics[m].name);
+          out += ": ";
+          json_number(out, point.metrics[m].value);
+        }
+        out += " } }";
+      }
+      out += "\n  ],\n";
+    }
     out += "  \"tables\": [";
     for (std::size_t t = 0; t < tables.size(); ++t) {
       const TableData& table = tables[t];

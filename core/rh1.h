@@ -65,7 +65,10 @@ class HybridTm {
           rng_(detail::next_ctx_seed()),
           cm_(tm.u_.config().cm,
               ContentionManager::Limits{tm.cfg_.slow_retry_percent, 0,
-                                        tm.cfg_.capacity_retries}) {}
+                                        tm.cfg_.capacity_retries}),
+          trace_(tm.u_.acquire_trace_ring()) {
+      cm_.set_trace(trace_);
+    }
     TxStats stats;
     /// The per-thread retry/escalation policy engine (tests introspect it).
     [[nodiscard]] ContentionManager& cm() { return cm_; }
@@ -75,6 +78,7 @@ class HybridTm {
     typename H::Tx tx_;
     Xoshiro256 rng_;
     ContentionManager cm_;
+    trace::TraceRing* trace_;
     ReadSet rs_;
     WriteSet ws_;
     StripeSet fast_written_;  ///< distinct stripes the fast path stamps
@@ -127,6 +131,7 @@ class HybridTm {
 
   template <class Body>
   void run(ThreadCtx& ctx, Body& body) {
+    trace::tx_begin(ctx.trace_);
     if (cfg_.force_slow_path || cfg_.force_rh2) {
       run_slow(ctx, body, cfg_.force_rh2);
       return;
@@ -137,6 +142,7 @@ class HybridTm {
     }
     for (;;) {
       ctx.stats.count_attempt(ExecPath::kRh1Fast);
+      trace::attempt(ctx.trace_, ExecPath::kRh1Fast);
       const bool poison = injector_.fire(ctx.rng_);
       const bool durable = u_.durable();
       ctx.fast_written_.clear();
@@ -152,14 +158,17 @@ class HybridTm {
       if (out.ok()) {
         if (durable && !ctx.fast_written_.empty()) {
           durable_publish(ctx.fast_redo_, ctx.fast_written_.items(), fast_wv,
-                          pmem::kPathRh1Fast);
+                          pmem::kPathRh1Fast, ctx.trace_);
         }
         ctx.stats.count_commit(ExecPath::kRh1Fast);
+        trace::commit(ctx.trace_, ExecPath::kRh1Fast);
         ctx.cm_.on_hardware_commit();
         return;
       }
       ctx.stats.count_abort(to_abort_cause(out.status));
+      trace::abort(ctx.trace_, to_abort_cause(out.status));
       if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) {
+        trace::escalate(ctx.trace_, ExecPath::kRh1Slow);
         run_slow(ctx, body, false);
         return;
       }
@@ -218,6 +227,7 @@ class HybridTm {
     for (;;) {
       const ExecPath path = rh2 ? ExecPath::kRh2Slow : ExecPath::kRh1Slow;
       ctx.stats.count_attempt(path);
+      trace::attempt(ctx.trace_, path);
       ctx.rs_.clear();
       ctx.ws_.clear();
       const TmWord rv = u_.clock().read();
@@ -227,9 +237,11 @@ class HybridTm {
           body(h);
           if (!rh1_reduced_commit(ctx, rv)) {
             rh2 = true;  // commit exceeds the hardware budget: go visible
+            trace::escalate(ctx.trace_, ExecPath::kRh2Slow);
             continue;
           }
           ctx.stats.count_commit(ExecPath::kRh1Slow);
+          trace::commit(ctx.trace_, ExecPath::kRh1Slow);
         } else {
           rh2_active_.word.fetch_add(1, std::memory_order_acq_rel);
           ctx.masks_.clear();
@@ -240,6 +252,7 @@ class HybridTm {
             unpublish_all(ctx);
             rh2_active_.word.fetch_sub(1, std::memory_order_acq_rel);
             ctx.stats.count_commit(commit_path);
+            trace::commit(ctx.trace_, commit_path);
           } catch (...) {
             unpublish_all(ctx);
             rh2_active_.word.fetch_sub(1, std::memory_order_acq_rel);
@@ -248,6 +261,7 @@ class HybridTm {
         }
       } catch (const detail::StmAbort& a) {
         ctx.stats.count_abort(a.cause);
+        trace::abort(ctx.trace_, a.cause);
         u_.clock().on_abort();
         ctx.cm_.backoff_software();
         continue;
@@ -314,7 +328,7 @@ class HybridTm {
       if (out.ok()) {
         if (durable) {
           durable_publish(ctx.ws_.entries(), ctx.ws_.write_stripes(), wv_out,
-                          pmem::kPathRh1);
+                          pmem::kPathRh1, ctx.trace_);
         }
         return true;
       }
@@ -323,6 +337,7 @@ class HybridTm {
         // re-executes with visible reads (RH2), so this is a real abort —
         // count it, or capacity escalation is invisible in every report.
         ctx.stats.count_abort(AbortCause::kHtmCapacity);
+        trace::abort(ctx.trace_, AbortCause::kHtmCapacity);
         return false;
       }
       if (out.status == HtmStatus::kExplicit || ++tries >= cfg_.commit_retries) {
@@ -369,7 +384,7 @@ class HybridTm {
       if (out.ok()) {
         if (durable) {
           durable_publish(ctx.ws_.entries(), ctx.ws_.write_stripes(), wv_out,
-                          pmem::kPathRh2);
+                          pmem::kPathRh2, ctx.trace_);
         }
         return ExecPath::kRh2Slow;
       }
@@ -380,8 +395,11 @@ class HybridTm {
           // commit overflowed, and escalation must be visible in reports
           // even though the slow-slow commit completes this same attempt.
           ctx.stats.count_abort(AbortCause::kHtmCapacity);
+          trace::abort(ctx.trace_, AbortCause::kHtmCapacity);
         }
-        detail::tl2_software_commit(u_, ctx.rs_, ctx.ws_, rv, ctx.lock_scratch_, &ctx.masks_);
+        trace::escalate(ctx.trace_, ExecPath::kRh2SlowSlow);
+        detail::tl2_software_commit(u_, ctx.rs_, ctx.ws_, rv, ctx.lock_scratch_, &ctx.masks_,
+                                    ctx.trace_);
         return ExecPath::kRh2SlowSlow;
       }
       ctx.cm_.backoff_commit(tries);
@@ -399,11 +417,17 @@ class HybridTm {
   /// die with the process); recovery replays or discards from the log.
   template <class Entries, class Stripes>
   void durable_publish(const Entries& entries, const Stripes& stripes, TmWord wv,
-                       const char* path) {
+                       const char* path, trace::TraceRing* ring) {
     PersistentDomain& pd = u_.pmem();
+    const std::uint64_t t0 = rdtsc();
     const std::uint64_t txid = pd.durable_log(entries, path);
+    const std::uint64_t t1 = rdtsc();
+    trace::durable_phase(ring, trace::EventKind::kDurLog, t1 - t0);
     pd.durable_mark(txid, path);
+    const std::uint64_t t2 = rdtsc();
+    trace::durable_phase(ring, trace::EventKind::kDurMark, t2 - t1);
     pd.durable_apply(entries, path);
+    trace::durable_phase(ring, trace::EventKind::kDurApply, rdtsc() - t2);
     for (const std::uint32_t s : stripes) u_.stripes().unlock_to(s, wv);
   }
 

@@ -27,7 +27,10 @@
 #include "core/stats.h"
 #include "core/stripe.h"
 #include "core/tatas.h"
+#include "core/timeseries.h"
 #include "core/tl2.h"
+#include "core/trace.h"
+#include "core/trace_export.h"
 #include "core/universe.h"
 
 namespace rhtm {

@@ -38,7 +38,10 @@ class StandardHytm {
           cm_(tm.u_.config().cm,
               ContentionManager::Limits{
                   0, tm.cfg_.hardware_only ? 0 : tm.cfg_.max_hw_attempts,
-                  tm.cfg_.capacity_retries}) {}
+                  tm.cfg_.capacity_retries}),
+          trace_(tm.u_.acquire_trace_ring()) {
+      cm_.set_trace(trace_);
+    }
     TxStats stats;
 
    private:
@@ -46,6 +49,7 @@ class StandardHytm {
     typename H::Tx tx_;
     Xoshiro256 rng_;
     ContentionManager cm_;
+    trace::TraceRing* trace_;
     ReadSet rs_;
     WriteSet ws_;
     std::vector<std::uint32_t> lock_scratch_;
@@ -88,10 +92,12 @@ class StandardHytm {
     // its write-back); the instrumented hardware handle has no redo capture
     // and the baseline's contract is not worth complicating — the durable
     // hardware commit story is HybridTm's (core/rh1.h).
+    trace::tx_begin(ctx.trace_);
     if (!u_.durable() && (cfg_.hardware_only || cfg_.max_hw_attempts > 0) &&
         !ctx.cm_.start_in_software()) {
       for (;;) {
         ctx.stats.count_attempt(ExecPath::kHtm);
+        trace::attempt(ctx.trace_, ExecPath::kHtm);
         const bool poison = injector_.fire(ctx.rng_);
         ctx.hw_written_.clear();
         const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
@@ -103,10 +109,12 @@ class StandardHytm {
         });
         if (out.ok()) {
           ctx.stats.count_commit(ExecPath::kHtm);
+          trace::commit(ctx.trace_, ExecPath::kHtm);
           ctx.cm_.on_hardware_commit();
           return;
         }
         ctx.stats.count_abort(to_abort_cause(out.status));
+        trace::abort(ctx.trace_, to_abort_cause(out.status));
         if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
         ctx.cm_.backoff_hardware();
       }
@@ -118,8 +126,9 @@ class StandardHytm {
       run_under_lock(ctx, body);
       return;
     }
+    trace::escalate(ctx.trace_, ExecPath::kStm);
     detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm,
-                    ctx.cm_, body);
+                    ctx.cm_, ctx.trace_, body);
   }
 
   /// Commit-point stamping: re-read the clock inside the transaction so the
@@ -136,11 +145,13 @@ class StandardHytm {
 
   template <class Body>
   void run_under_lock(ThreadCtx& ctx, Body& body) {
+    trace::fallback_lock(ctx.trace_);
     fallback_.acquire();
     detail::NonSpecHandle<H> h{u_.htm()};
     body(h);
     fallback_.release();
     ctx.stats.count_commit(ExecPath::kHtm);
+    trace::commit(ctx.trace_, ExecPath::kHtm);
     ctx.cm_.on_software_commit();
   }
 

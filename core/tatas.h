@@ -38,7 +38,10 @@ class TatasElision {
           rng_(detail::next_ctx_seed()),
           cm_(tm.u_.config().cm,
               ContentionManager::Limits{0, tm.cfg_.max_hw_attempts,
-                                        tm.cfg_.capacity_retries}) {}
+                                        tm.cfg_.capacity_retries}),
+          trace_(tm.u_.acquire_trace_ring()) {
+      cm_.set_trace(trace_);
+    }
     TxStats stats;
 
    private:
@@ -46,6 +49,7 @@ class TatasElision {
     typename H::Tx tx_;
     Xoshiro256 rng_;
     ContentionManager cm_;
+    trace::TraceRing* trace_;
   };
 
   explicit TatasElision(TmUniverse<H>& u, Config cfg = {})
@@ -62,9 +66,11 @@ class TatasElision {
  private:
   template <class Body>
   void run(ThreadCtx& ctx, Body& body) {
+    trace::tx_begin(ctx.trace_);
     if (!ctx.cm_.start_in_software()) {
       for (;;) {
         ctx.stats.count_attempt(ExecPath::kHtm);
+        trace::attempt(ctx.trace_, ExecPath::kHtm);
         const bool poison = injector_.fire(ctx.rng_);
         const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
           // Elision subscription: the lock word joins the read set, so an
@@ -76,19 +82,23 @@ class TatasElision {
         });
         if (out.ok()) {
           ctx.stats.count_commit(ExecPath::kHtm);
+          trace::commit(ctx.trace_, ExecPath::kHtm);
           ctx.cm_.on_hardware_commit();
           return;
         }
         ctx.stats.count_abort(to_abort_cause(out.status));
+        trace::abort(ctx.trace_, to_abort_cause(out.status));
         if (ctx.cm_.give_up_hardware(to_abort_cause(out.status), ctx.rng_)) break;
         ctx.cm_.backoff_hardware();
       }
     }
+    trace::fallback_lock(ctx.trace_);
     acquire();
     detail::NonSpecHandle<H> h{u_.htm()};
     body(h);
     release();
     ctx.stats.count_commit(ExecPath::kHtm);
+    trace::commit(ctx.trace_, ExecPath::kHtm);
     ctx.cm_.on_software_commit();
   }
 

@@ -93,7 +93,8 @@ struct Tl2Handle {
 template <class H>
 inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmWord rv,
                                 std::vector<std::uint32_t>& locked,
-                                const StripeSet* self_read_masks = nullptr) {
+                                const StripeSet* self_read_masks = nullptr,
+                                trace::TraceRing* ring = nullptr) {
   if (ws.empty()) return;  // read-only: post-validated reads suffice
   StripeTable& st = u.stripes();
   locked = ws.write_stripes();  // deduped; assign reuses the scratch capacity
@@ -136,10 +137,16 @@ inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmW
     // or in the image) before they are durably marked. RH2's slow-slow
     // escalation funnels through here too — same path, same kill points.
     PersistentDomain& pd = u.pmem();
+    const std::uint64_t t0 = rdtsc();
     const std::uint64_t txid = pd.durable_log(ws.entries(), pmem::kPathTl2);
+    const std::uint64_t t1 = rdtsc();
+    trace::durable_phase(ring, trace::EventKind::kDurLog, t1 - t0);
     pd.durable_mark(txid, pmem::kPathTl2);
+    trace::durable_phase(ring, trace::EventKind::kDurMark, rdtsc() - t1);
     u.htm().nontx_publish(ws.entries());  // one atomic batch, not N racy stores
+    const std::uint64_t t2 = rdtsc();
     pd.durable_apply(ws.entries(), pmem::kPathTl2);
+    trace::durable_phase(ring, trace::EventKind::kDurApply, rdtsc() - t2);
   } else {
     u.htm().nontx_publish(ws.entries());  // one atomic batch, not N racy stores
   }
@@ -149,27 +156,33 @@ inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmW
 /// Full TL2 transaction loop: retry until the body runs and commits. The
 /// caller's ContentionManager shapes the inter-retry backoff (for pure
 /// software paths only the backoff shape applies; escalation is a no-op).
+/// `ring` records the lifecycle when tracing is on; callers that escalate
+/// into this loop have already emitted their tx_begin, so the loop only
+/// emits attempt/abort/commit.
 template <class H, class Body>
 inline void tl2_run(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws,
                     std::vector<std::uint32_t>& lock_scratch, TxStats& stats, ExecPath path,
-                    ContentionManager& cm, Body& body) {
+                    ContentionManager& cm, trace::TraceRing* ring, Body& body) {
   cm.begin_software();
   for (;;) {
     stats.count_attempt(path);
+    trace::attempt(ring, path);
     rs.clear();
     ws.clear();
     const TmWord rv = u.clock().read();
     Tl2Handle<H> h{u, rs, ws, rv};
     try {
       body(h);
-      tl2_software_commit(u, rs, ws, rv, lock_scratch);
+      tl2_software_commit(u, rs, ws, rv, lock_scratch, nullptr, ring);
     } catch (const StmAbort& a) {
       stats.count_abort(a.cause);
+      trace::abort(ring, a.cause);
       u.clock().on_abort();
       cm.backoff_software();
       continue;
     }
     stats.count_commit(path);
+    trace::commit(ring, path);
     cm.on_software_commit();
     return;
   }
@@ -185,12 +198,16 @@ class Tl2 {
   class ThreadCtx {
    public:
     explicit ThreadCtx(Tl2& tm)
-        : cm_(tm.u_.config().cm, ContentionManager::Limits{}) {}
+        : cm_(tm.u_.config().cm, ContentionManager::Limits{}),
+          trace_(tm.u_.acquire_trace_ring()) {
+      cm_.set_trace(trace_);
+    }
     TxStats stats;
 
    private:
     friend class Tl2;
     ContentionManager cm_;
+    trace::TraceRing* trace_;
     ReadSet rs_;
     WriteSet ws_;
     std::vector<std::uint32_t> lock_scratch_;
@@ -201,8 +218,9 @@ class Tl2 {
   template <class Body>
   void atomically(ThreadCtx& ctx, Body&& body) {
     detail::timed_section(ctx.stats, [&] {
+      trace::tx_begin(ctx.trace_);
       detail::tl2_run(u_, ctx.rs_, ctx.ws_, ctx.lock_scratch_, ctx.stats, ExecPath::kStm,
-                      ctx.cm_, body);
+                      ctx.cm_, ctx.trace_, body);
     });
   }
 

@@ -1,0 +1,193 @@
+#pragma once
+
+// Chrome trace-event JSON export for core/trace.h — the file --trace writes
+// and Perfetto (ui.perfetto.dev) / chrome://tracing load directly.
+//
+// Mapping:
+//  * one track per TraceRing (pid 1, tid = ring id, a thread_name metadata
+//    record naming it and carrying its exact dropped-event count);
+//  * every committed transaction is a DURATION slice ("ph":"X") named
+//    "tx:<tier>" — the slice duration comes from the commit event's own
+//    cycles-since-begin payload, so it is exact even when the matching
+//    tx_begin event was wrapped out of the ring;
+//  * durable commit phases are "dur:log/mark/apply" slices the same way;
+//  * aborts, tier escalations, lock fallbacks and ContentionManager
+//    software-mode decisions are INSTANT events ("ph":"i", thread scope):
+//    "abort:<cause>", "esc:<path>", "fallback_lock", "cm:sw_enter",
+//    "cm:sw_exit", "cm:sw_probe";
+//  * hardware attempts are instant "attempt:<path>" events (category
+//    "attempt" — toggle the category off in Perfetto if they are noise).
+//
+// Timestamps are microseconds relative to the Tracer's construction,
+// converted with the tracer's measured TSC rate. "otherData" carries the
+// run-level accounting (rings, events, exact drops, denied registrations,
+// tsc_hz) that scripts/trace_summary.py validates.
+
+#include <cstdio>
+#include <string>
+
+#include "core/report.h"
+#include "core/trace.h"
+
+namespace rhtm::trace {
+
+inline constexpr const char* kTraceSchemaId = "rhtm-trace/v1";
+
+namespace detail_export {
+
+inline void begin_event(std::string& out, bool& first, std::uint16_t tid,
+                        const char* ph, double ts_us) {
+  out += first ? "\n  " : ",\n  ";
+  first = false;
+  out += "{\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ph\":\"";
+  out += ph;
+  out += "\",\"ts\":";
+  report::json_number(out, ts_us < 0 ? 0.0 : ts_us);
+}
+
+inline void name_cat(std::string& out, const std::string& name, const char* cat) {
+  out += ",\"name\":";
+  report::json_escape(out, name);
+  out += ",\"cat\":\"";
+  out += cat;
+  out += "\"";
+}
+
+}  // namespace detail_export
+
+/// Renders the whole tracer as one Chrome trace-event JSON document.
+[[nodiscard]] inline std::string chrome_json(const Tracer& tracer) {
+  const double hz = tracer.tsc_hz();
+  const std::uint64_t tsc0 = tracer.tsc0();
+  const auto us_of = [&](std::uint64_t tsc) {
+    return static_cast<double>(tsc - tsc0) / hz * 1e6;
+  };
+  const auto cycles_us = [&](std::uint32_t cycles) {
+    return static_cast<double>(cycles) / hz * 1e6;
+  };
+
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"schema\":\"";
+  out += kTraceSchemaId;
+  out += "\",\"rings\":";
+  out += std::to_string(tracer.ring_count());
+  out += ",\"events\":";
+  out += std::to_string(tracer.total_events());
+  out += ",\"dropped\":";
+  out += std::to_string(tracer.total_dropped());
+  out += ",\"denied_rings\":";
+  out += std::to_string(tracer.denied_rings());
+  out += ",\"tsc_hz\":";
+  report::json_number(out, hz);
+  out += "},\n\"traceEvents\":[";
+
+  bool first = true;
+  {  // process + per-ring track metadata
+    out += first ? "\n  " : ",\n  ";
+    first = false;
+    out += "{\"pid\":1,\"tid\":0,\"ph\":\"M\",\"name\":\"process_name\","
+           "\"args\":{\"name\":\"rhtm\"}}";
+  }
+  tracer.for_each_ring([&](const TraceRing& r) {
+    out += ",\n  {\"pid\":1,\"tid\":";
+    out += std::to_string(r.id());
+    out += ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":";
+    report::json_escape(out, "ctx" + std::to_string(r.id()) + " (dropped=" +
+                                 std::to_string(r.dropped()) + ")");
+    out += "}}";
+  });
+
+  tracer.for_each_ring([&](const TraceRing& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      const Event& e = r.event(i);
+      const double ts = us_of(e.tsc);
+      switch (e.event_kind()) {
+        case EventKind::kTxBegin:
+          break;  // encoded in the commit slice's start
+        case EventKind::kCommit: {
+          const double dur = cycles_us(e.arg);
+          const char* tier = to_string(static_cast<ExecPath>(e.a));
+          detail_export::begin_event(out, first, r.id(), "X", ts - dur);
+          out += ",\"dur\":";
+          report::json_number(out, dur);
+          detail_export::name_cat(out, std::string("tx:") + tier, "tx");
+          out += ",\"args\":{\"tier\":\"";
+          out += tier;
+          out += "\"}}";
+          break;
+        }
+        case EventKind::kDurLog:
+        case EventKind::kDurMark:
+        case EventKind::kDurApply: {
+          const double dur = cycles_us(e.arg);
+          const char* phase = e.event_kind() == EventKind::kDurLog    ? "log"
+                              : e.event_kind() == EventKind::kDurMark ? "mark"
+                                                                      : "apply";
+          detail_export::begin_event(out, first, r.id(), "X", ts - dur);
+          out += ",\"dur\":";
+          report::json_number(out, dur);
+          detail_export::name_cat(out, std::string("dur:") + phase, "durable");
+          out += "}";
+          break;
+        }
+        case EventKind::kAbort: {
+          detail_export::begin_event(out, first, r.id(), "i", ts);
+          detail_export::name_cat(
+              out, std::string("abort:") + to_string(static_cast<AbortCause>(e.a)),
+              "abort");
+          out += ",\"s\":\"t\"}";
+          break;
+        }
+        case EventKind::kHwAttempt: {
+          detail_export::begin_event(out, first, r.id(), "i", ts);
+          detail_export::name_cat(
+              out, std::string("attempt:") + to_string(static_cast<ExecPath>(e.a)),
+              "attempt");
+          out += ",\"s\":\"t\"}";
+          break;
+        }
+        case EventKind::kEscalate: {
+          detail_export::begin_event(out, first, r.id(), "i", ts);
+          detail_export::name_cat(
+              out, std::string("esc:") + to_string(static_cast<ExecPath>(e.a)),
+              "escalate");
+          out += ",\"s\":\"t\"}";
+          break;
+        }
+        case EventKind::kFallbackLock: {
+          detail_export::begin_event(out, first, r.id(), "i", ts);
+          detail_export::name_cat(out, "fallback_lock", "escalate");
+          out += ",\"s\":\"t\"}";
+          break;
+        }
+        case EventKind::kSwModeEnter:
+        case EventKind::kSwModeExit:
+        case EventKind::kSwModeProbe: {
+          detail_export::begin_event(out, first, r.id(), "i", ts);
+          detail_export::name_cat(out, std::string("cm:") + to_string(e.event_kind()),
+                                  "cm");
+          out += ",\"s\":\"t\"}";
+          break;
+        }
+      }
+    }
+  });
+
+  out += "\n]\n}\n";
+  return out;
+}
+
+/// Writes chrome_json() to `path`. Returns true on success.
+inline bool write_chrome_json(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = chrome_json(tracer);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace rhtm::trace

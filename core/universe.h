@@ -13,6 +13,7 @@
 #include "core/htm_common.h"
 #include "core/pmem.h"
 #include "core/stripe.h"
+#include "core/trace.h"
 
 namespace rhtm {
 
@@ -33,6 +34,13 @@ struct UniverseConfig {
   /// locks on abort.
   bool durable = false;
   PmemConfig pmem;
+  /// Event tracing: when non-null, every protocol ThreadCtx constructed
+  /// over this universe acquires a TraceRing from this tracer and records
+  /// its full transaction lifecycle (core/trace.h; --trace bench flag).
+  /// Non-owning — the tracer outlives every universe built over it. Null
+  /// (the default) disables tracing: the per-event cost collapses to one
+  /// predictable null-check branch.
+  trace::Tracer* tracer = nullptr;
 };
 
 template <class H>
@@ -57,6 +65,14 @@ class TmUniverse {
   [[nodiscard]] bool durable() const { return pmem_ != nullptr; }
   /// The persistent domain; only valid when durable().
   [[nodiscard]] PersistentDomain& pmem() { return *pmem_; }
+
+  /// The flight recorder, or null when tracing is off.
+  [[nodiscard]] trace::Tracer* tracer() const { return cfg_.tracer; }
+  /// A fresh per-thread trace ring, or null when tracing is off (or the
+  /// tracer's ring budget is exhausted — callers treat both as "no trace").
+  [[nodiscard]] trace::TraceRing* acquire_trace_ring() const {
+    return cfg_.tracer != nullptr ? cfg_.tracer->acquire_ring() : nullptr;
+  }
 
  private:
   UniverseConfig cfg_;

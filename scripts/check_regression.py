@@ -97,16 +97,27 @@ def gateable_titles(report):
     }
 
 
-def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout):
+def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout,
+            summary=None):
     """Returns (compared, regressions): point counts across all reports.
 
     Reports or gateable tables present in only one of {baseline, current}
     are surfaced as explicit "new"/"removed" info lines — a new scenario is
     visibly ungated until its first baseline lands, it never silently
     dodges the gate; a vanished one is visible too.
+
+    When `summary` is a dict it is filled in with the material for the
+    one-line end verdict: "points" (gated point count), "tables" (the set of
+    (report, table-title) pairs that contributed points) and "worst" — the
+    single point whose ratio moved furthest in its table's BAD direction,
+    as (severity, report, title, x, change) where severity > 1 means
+    movement toward regression and the threshold trips at
+    severity > 1/(1-threshold).
     """
     compared = 0
     regressions = []
+    gated_tables = set()
+    worst = None
     new_names = {
         os.path.basename(p) for p in glob.glob(os.path.join(new_dir, "BENCH_*.json"))
     }
@@ -168,7 +179,14 @@ def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout)
                 )
                 continue
             compared += 1
+            gated_tables.add((name, title))
             change = new_ratio / old_ratio
+            # Severity normalizes both directions onto one scale: > 1 means
+            # the ratio moved toward regression, whichever way "bad" points
+            # for this table. The single worst point feeds the end summary.
+            severity = 1.0 / change if direction == "higher" else change
+            if worst is None or severity > worst[0]:
+                worst = (severity, name, title, x, change)
             # higher-is-better regresses when the ratio drops past the
             # threshold; lower-is-better (latency) when it rises past the
             # reciprocal bound, so the gate is symmetric either way.
@@ -197,6 +215,10 @@ def compare(old_dir, new_dir, numerator, denominator, threshold, out=sys.stdout)
                     f"(present in baseline only, nothing to gate)",
                     file=out,
                 )
+    if summary is not None:
+        summary["points"] = compared
+        summary["tables"] = gated_tables
+        summary["worst"] = worst
     return compared, regressions
 
 
@@ -523,6 +545,32 @@ def self_test():
             r[1] == "contention wasted_speculation_pct table" for r in regressions
         ), regressions
         assert "[lower-is-better]" in log.getvalue(), log.getvalue()
+
+        # End-summary material: the summary out-param must report the gated
+        # point/table counts and pick the single worst-moving point, and the
+        # rendered line must carry the PASS/FAIL verdict.
+        summary = {}
+        compared, regressions = compare(
+            old_dir, bad_dir, "RH1-Fast", "TL2", 0.25, sink, summary=summary
+        )
+        assert summary["points"] == compared == 3, summary
+        assert summary["tables"] == {("BENCH_fig1_rbtree.json", "Figure 1")}, summary
+        severity, name, _, _, change = summary["worst"]
+        assert name == "BENCH_fig1_rbtree.json", summary
+        assert abs(change - 0.5) < 1e-9 and abs(severity - 2.0) < 1e-9, summary
+        line = summary_line(compared, summary, regressions)
+        assert "3 points across 1 tables gated" in line, line
+        assert "worst 0.50x" in line and "FAIL (3 regression(s))" in line, line
+        summary = {}
+        compared, regressions = compare(
+            old_dir, ok_dir, "RH1-Fast", "TL2", 0.25, sink, summary=summary
+        )
+        line = summary_line(compared, summary, regressions)
+        assert line.endswith("PASS"), line
+        # The "ok" run preserves the throughput ratio (up to integer
+        # rounding of 500/3), so the worst severity must sit well inside the
+        # threshold's trip point of 1/(1-0.25).
+        assert summary["worst"][0] < 1.0 / (1.0 - 0.25), summary
     print("self-test passed")
     return 0
 
@@ -551,19 +599,34 @@ def main():
         f"gating {args.numerator}/{args.denominator} per (scenario, table, x), "
         f"threshold {args.threshold:.0%}:"
     )
+    summary = {}
     compared, regressions = compare(
-        args.old_dir, args.new_dir, args.numerator, args.denominator, args.threshold
+        args.old_dir, args.new_dir, args.numerator, args.denominator, args.threshold,
+        summary=summary,
     )
     if compared == 0:
-        print("nothing comparable (no overlapping tables/series); not gating")
+        print("summary: 0 points gated (no overlapping tables/series); PASS")
         return 0
     if regressions:
         print(f"\n{len(regressions)} gated regression(s) of {compared} compared points:")
         for name, title, x, old_r, new_r, change in regressions:
             print(f"  {name} | {title} | x={x}: {old_r:.3f} -> {new_r:.3f} ({change:.2f}x)")
-        return 1
-    print(f"no regression beyond threshold across {compared} points")
-    return 0
+    print(summary_line(compared, summary, regressions))
+    return 1 if regressions else 0
+
+
+def summary_line(compared, summary, regressions):
+    """The machine-greppable one-line verdict the CI log ends on."""
+    worst = summary.get("worst")
+    worst_txt = "no movement"
+    if worst is not None:
+        _, name, title, x, change = worst
+        worst_txt = f"worst {change:.2f}x at {name} | {title} | x={x}"
+    verdict = f"FAIL ({len(regressions)} regression(s))" if regressions else "PASS"
+    return (
+        f"summary: {compared} points across {len(summary.get('tables', ()))} "
+        f"tables gated; {worst_txt}; {verdict}"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,326 @@
+#!/usr/bin/env python3
+"""Validate and summarize a Chrome-trace-event JSON written by --trace.
+
+The exporter (core/trace_export.h) emits one document per run:
+
+    {"otherData": {"schema": "rhtm-trace/v1", "tsc_hz": ..., ...},
+     "traceEvents": [...]}
+
+with one Perfetto track per trace ring ("M" thread_name metadata), an "X"
+complete slice per committed transaction named "tx:<tier>" (tier is the
+ExecPath the commit landed on), "X" slices for durable phases
+("dur:log|mark|apply", nested inside their transaction), and "i" instant
+events for attempts, aborts, escalations and contention-manager decisions.
+
+This script is the other half of the exporter's contract: it structurally
+validates the document, then attributes transaction time to named tiers
+and prints where the traced cycles went.
+
+Usage:
+    trace_summary.py TRACE.json            summarize (always validates)
+    trace_summary.py TRACE.json --check    exit 1 unless the document is
+                                           valid AND >= --min-attribution
+                                           (default 95%) of in-transaction
+                                           time is attributed to known tiers
+    trace_summary.py --self-test
+
+Exit status: 0 = ok; 1 = validation/attribution failure; 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "rhtm-trace/v1"
+
+# ExecPath::to_string (core/stats.h) — the tier names a commit slice may
+# carry. An unknown tier is counted but not attributed, so a renamed enum
+# shows up as lost attribution here instead of silently passing.
+KNOWN_TIERS = {"htm", "rh1_fast", "rh1_slow", "rh2_slow", "rh2_slow_slow", "stm"}
+
+# AbortCause::to_string — the cause names an abort instant may carry.
+KNOWN_CAUSES = {
+    "htm_conflict",
+    "htm_capacity",
+    "htm_explicit",
+    "injected",
+    "stm_validation",
+    "stm_locked",
+}
+
+
+def validate(doc):
+    """Returns a list of problems (empty = structurally valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        problems.append("missing otherData object")
+    else:
+        if other.get("schema") != SCHEMA:
+            problems.append(
+                f"otherData.schema is {other.get('schema')!r}, want {SCHEMA!r}"
+            )
+        if not isinstance(other.get("tsc_hz"), (int, float)) or other.get("tsc_hz") <= 0:
+            problems.append("otherData.tsc_hz missing or nonpositive")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("missing traceEvents array")
+        return problems
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                problems.append(f"{where}: unknown metadata {e.get('name')!r}")
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in e:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(e.get("ts"), (int, float)) or e.get("ts", -1) < 0:
+            problems.append(f"{where}: bad ts {e.get('ts')!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X slice with bad dur {dur!r}")
+        name = e.get("name", "")
+        if isinstance(name, str) and name.startswith("abort:"):
+            cause = name.split(":", 1)[1]
+            if cause not in KNOWN_CAUSES:
+                problems.append(f"{where}: unknown abort cause {cause!r}")
+    return problems
+
+
+def summarize(doc):
+    """Aggregates the events into the report printed by main().
+
+    Returns a dict with: tier_us {tier: total slice us}, unknown_tier_us,
+    durable_us {phase: us}, counts {category: n}, aborts {cause: n},
+    threads {tid: {"tx_us":, "events":, "name":}}, span_us (first ts ->
+    last ts+dur over non-metadata events), attribution (fraction of tx
+    slice time on known tiers; 1.0 when there are no tx slices).
+    """
+    tier_us = {}
+    unknown_tier_us = 0.0
+    durable_us = {}
+    counts = {}
+    aborts = {}
+    threads = {}
+    t_min = None
+    t_max = None
+    for e in doc.get("traceEvents", []):
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") == "thread_name":
+                tid = e.get("tid")
+                threads.setdefault(tid, {"tx_us": 0.0, "events": 0, "name": ""})[
+                    "name"
+                ] = e.get("args", {}).get("name", "")
+            continue
+        tid = e.get("tid")
+        slot = threads.setdefault(tid, {"tx_us": 0.0, "events": 0, "name": ""})
+        slot["events"] += 1
+        ts = float(e.get("ts", 0))
+        end = ts + float(e.get("dur", 0)) if ph == "X" else ts
+        t_min = ts if t_min is None else min(t_min, ts)
+        t_max = end if t_max is None else max(t_max, end)
+        cat = e.get("cat", "?")
+        counts[cat] = counts.get(cat, 0) + 1
+        name = e.get("name", "")
+        if ph == "X" and name.startswith("tx:"):
+            tier = name.split(":", 1)[1]
+            dur = float(e.get("dur", 0))
+            slot["tx_us"] += dur
+            if tier in KNOWN_TIERS:
+                tier_us[tier] = tier_us.get(tier, 0.0) + dur
+            else:
+                unknown_tier_us += dur
+        elif ph == "X" and name.startswith("dur:"):
+            phase = name.split(":", 1)[1]
+            durable_us[phase] = durable_us.get(phase, 0.0) + float(e.get("dur", 0))
+        elif name.startswith("abort:"):
+            cause = name.split(":", 1)[1]
+            aborts[cause] = aborts.get(cause, 0) + 1
+    total_tx = sum(tier_us.values()) + unknown_tier_us
+    return {
+        "tier_us": tier_us,
+        "unknown_tier_us": unknown_tier_us,
+        "durable_us": durable_us,
+        "counts": counts,
+        "aborts": aborts,
+        "threads": threads,
+        "span_us": (t_max - t_min) if t_min is not None else 0.0,
+        "attribution": sum(tier_us.values()) / total_tx if total_tx > 0 else 1.0,
+    }
+
+
+def print_summary(doc, summary, out=sys.stdout):
+    other = doc.get("otherData", {})
+    print(
+        f"trace: {other.get('events', '?')} events, {other.get('rings', '?')} rings, "
+        f"{other.get('dropped', 0)} dropped, tsc {other.get('tsc_hz', 0) / 1e9:.2f} GHz",
+        file=out,
+    )
+    total_tx = sum(summary["tier_us"].values()) + summary["unknown_tier_us"]
+    print(f"per-tier time attribution ({total_tx:.0f} us in committed transactions):",
+          file=out)
+    for tier in sorted(summary["tier_us"], key=summary["tier_us"].get, reverse=True):
+        us = summary["tier_us"][tier]
+        pct = 100.0 * us / total_tx if total_tx > 0 else 0.0
+        print(f"  {tier:<14} {us:>12.0f} us  {pct:5.1f}%", file=out)
+    if summary["unknown_tier_us"] > 0:
+        print(f"  {'<unknown>':<14} {summary['unknown_tier_us']:>12.0f} us", file=out)
+    if summary["durable_us"]:
+        print("durable phases (inside the slices above):", file=out)
+        for phase in ("log", "mark", "apply"):
+            if phase in summary["durable_us"]:
+                print(f"  dur:{phase:<10} {summary['durable_us'][phase]:>12.0f} us",
+                      file=out)
+    if summary["aborts"]:
+        print("aborts by cause:", file=out)
+        for cause, n in sorted(summary["aborts"].items(), key=lambda kv: -kv[1]):
+            print(f"  {cause:<14} {n}", file=out)
+    print("event counts by category:", file=out)
+    for cat, n in sorted(summary["counts"].items(), key=lambda kv: -kv[1]):
+        print(f"  {cat:<14} {n}", file=out)
+    span = summary["span_us"]
+    print(f"per-thread busy fraction (tx time / {span:.0f} us traced span):", file=out)
+    for tid in sorted(summary["threads"]):
+        t = summary["threads"][tid]
+        busy = 100.0 * t["tx_us"] / span if span > 0 else 0.0
+        label = t["name"] or f"tid {tid}"
+        print(f"  {label:<24} {t['events']:>8} events  {busy:5.1f}% busy", file=out)
+    print(f"attribution: {100.0 * summary['attribution']:.2f}% of in-transaction "
+          f"time on named tiers", file=out)
+
+
+def check(doc, summary, min_attribution, out=sys.stdout):
+    """The --check gate: structural validity + attribution floor."""
+    problems = validate(doc)
+    for p in problems:
+        print(f"INVALID: {p}", file=out)
+    if summary["attribution"] < min_attribution:
+        problems.append("attribution below floor")
+        print(
+            f"FAIL: {100.0 * summary['attribution']:.2f}% of in-transaction time "
+            f"attributed to named tiers, need >= {100.0 * min_attribution:.0f}%",
+            file=out,
+        )
+    return len(problems) == 0
+
+
+def self_test():
+    def ev(ph, name, cat, ts, tid=1, dur=None, args=None):
+        e = {"ph": ph, "name": name, "cat": cat, "ts": ts, "pid": 1, "tid": tid}
+        if dur is not None:
+            e["dur"] = dur
+        if args is not None:
+            e["args"] = args
+        return e
+
+    doc = {
+        "otherData": {"schema": SCHEMA, "tsc_hz": 3e9, "events": 7, "rings": 2,
+                      "dropped": 3},
+        "traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 1, "args": {"name": "rhtm"}},
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+             "args": {"name": "ctx0 (dropped=3)"}},
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 2,
+             "args": {"name": "ctx1"}},
+            ev("X", "tx:rh1_fast", "tx", 0.0, tid=1, dur=60.0),
+            ev("X", "dur:log", "durable", 10.0, tid=1, dur=5.0),
+            ev("i", "abort:htm_capacity", "abort", 70.0, tid=1),
+            ev("X", "tx:stm", "tx", 80.0, tid=1, dur=20.0),
+            ev("X", "tx:rh1_slow", "tx", 0.0, tid=2, dur=20.0),
+            ev("i", "cm:sw_enter", "cm", 5.0, tid=2),
+        ],
+    }
+    assert validate(doc) == [], validate(doc)
+    s = summarize(doc)
+    assert s["tier_us"] == {"rh1_fast": 60.0, "stm": 20.0, "rh1_slow": 20.0}, s
+    assert s["unknown_tier_us"] == 0.0
+    assert s["durable_us"] == {"log": 5.0}
+    assert s["aborts"] == {"htm_capacity": 1}
+    assert s["counts"]["tx"] == 3 and s["counts"]["cm"] == 1, s["counts"]
+    assert s["threads"][1]["tx_us"] == 80.0 and s["threads"][2]["tx_us"] == 20.0
+    assert s["span_us"] == 100.0, s["span_us"]
+    assert s["attribution"] == 1.0
+    sink = open("/dev/null", "w") if sys.platform != "win32" else sys.stderr
+    assert check(doc, s, 0.95, sink)
+    print_summary(doc, s, sink)
+
+    # An unknown tier eats attribution: 60us of 100us known -> 60%, and the
+    # 95% gate must fail while the structure stays valid.
+    bad = json.loads(json.dumps(doc))
+    bad["traceEvents"].append(ev("X", "tx:warp_drive", "tx", 200.0, dur=40.0))
+    s = summarize(bad)
+    assert abs(s["attribution"] - 100.0 / 140.0) < 1e-9, s["attribution"]
+    assert validate(bad) == []
+    assert not check(bad, s, 0.95, sink)
+
+    # Structural breakage: wrong schema, X without dur, unknown abort cause,
+    # unknown phase — each must produce a distinct problem line.
+    broken = {
+        "otherData": {"schema": "wrong/v0", "tsc_hz": 0},
+        "traceEvents": [
+            {"ph": "X", "name": "tx:htm", "cat": "tx", "ts": 0, "pid": 1, "tid": 1},
+            ev("i", "abort:gremlins", "abort", 1.0),
+            {"ph": "Q", "name": "?", "ts": 0, "pid": 1, "tid": 1},
+        ],
+    }
+    problems = validate(broken)
+    assert any("schema" in p for p in problems), problems
+    assert any("tsc_hz" in p for p in problems), problems
+    assert any("bad dur" in p for p in problems), problems
+    assert any("gremlins" in p for p in problems), problems
+    assert any("unknown phase" in p for p in problems), problems
+
+    # No transactions at all: attribution is vacuously 1.0 (an empty trace
+    # from a scenario that only aborted must not fail the floor).
+    empty = {"otherData": {"schema": SCHEMA, "tsc_hz": 3e9}, "traceEvents": []}
+    s = summarize(empty)
+    assert s["attribution"] == 1.0 and s["span_us"] == 0.0
+    assert check(empty, s, 0.95, sink)
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", help="Chrome trace JSON from --trace")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless valid and above the attribution floor")
+    parser.add_argument("--min-attribution", type=float, default=0.95,
+                        help="fraction of tx time that must land on named tiers")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.trace:
+        parser.print_usage(sys.stderr)
+        return 2
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"INVALID: cannot load {args.trace}: {e}", file=sys.stderr)
+        return 1
+    summary = summarize(doc)
+    print_summary(doc, summary)
+    if args.check:
+        ok = check(doc, summary, args.min_attribution)
+        print("check: PASS" if ok else "check: FAIL")
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -379,6 +379,41 @@ void test_point_set_overwrites() {
   CHECK(p.find("missing") == nullptr);
 }
 
+void test_timeline_roundtrip() {
+  // An empty timeline (--timeline off, the default) must emit NO field at
+  // all — the schema stays byte-identical for older readers.
+  report::BenchReport rep = sample_report();
+  CHECK(rep.to_json().find("\"timeline\"") == std::string::npos);
+
+  report::Point& p0 = rep.timeline.emplace_back();
+  p0.x = 0.25;
+  p0.set("ops_per_sec", 120000.5).set("abort_rate", 0.125).set("queue_depth", 17);
+  report::Point& p1 = rep.timeline.emplace_back();
+  p1.x = 0.5;
+  p1.set("ops_per_sec", 98000).set("commits_rh1_fast", 24500);
+
+  const JsonValue root = JsonParser(rep.to_json()).parse();
+  const JsonValue* timeline = root.get("timeline");
+  CHECK(timeline != nullptr && timeline->kind == JsonValue::Kind::kArray);
+  CHECK_EQ(timeline->array.size(), rep.timeline.size());
+  for (std::size_t i = 0; i < rep.timeline.size(); ++i) {
+    const report::Point& want = rep.timeline[i];
+    const JsonValue& got = timeline->array[i];
+    expect_number(*got.get("t"), want.x);
+    const JsonValue* metrics = got.get("metrics");
+    CHECK(metrics != nullptr && metrics->kind == JsonValue::Kind::kObject);
+    CHECK_EQ(metrics->object.size(), want.metrics.size());
+    for (const report::Metric& m : want.metrics) {
+      const JsonValue* gm = metrics->get(m.name);
+      CHECK(gm != nullptr);
+      if (gm != nullptr) expect_number(*gm, m.value);
+    }
+  }
+  // The tables array must be untouched by the timeline's presence.
+  const JsonValue* tables = root.get("tables");
+  CHECK(tables != nullptr && tables->array.size() == rep.tables.size());
+}
+
 }  // namespace
 }  // namespace rhtm::test
 
@@ -392,5 +427,6 @@ int main() {
       {"write_json_file", rhtm::test::test_write_json_file},
       {"open_loop_fields_roundtrip", rhtm::test::test_open_loop_fields_roundtrip},
       {"point_set_overwrites", rhtm::test::test_point_set_overwrites},
+      {"timeline_roundtrip", rhtm::test::test_timeline_roundtrip},
   });
 }

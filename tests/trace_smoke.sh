@@ -1,0 +1,34 @@
+#!/bin/sh
+# Trace smoke: run the contention scenario with the flight recorder and the
+# metrics sampler on, then have scripts/trace_summary.py --check validate the
+# Chrome JSON (structure + >=95% of in-transaction time attributed to named
+# tiers) and assert the timeline landed in the BENCH json.
+#
+# Usage: trace_smoke.sh <run_all> <trace_summary.py> <workdir>
+set -e
+bin="$1"
+summary="$2"
+work="$3"
+mkdir -p "$work"
+trace="$work/trace_contention.json"
+rm -f "$trace" "$work/BENCH_contention.json"
+
+"$bin" --scenario=contention --substrate=sim --cm=adaptive \
+       --seconds=0.02 --threads=2 \
+       --trace="$trace" --timeline=10 --json-dir="$work"
+
+test -s "$trace" || { echo "no trace written"; exit 1; }
+
+python3 "$summary" "$trace" --check
+
+# The sampler must have produced a timeline array in the report.
+grep -q '"timeline"' "$work/BENCH_contention.json" || {
+  echo "BENCH_contention.json has no timeline field"
+  exit 1
+}
+# Provenance must be stamped (any value, including "unknown", but present).
+grep -q '"git_sha"' "$work/BENCH_contention.json" || {
+  echo "BENCH_contention.json has no git_sha provenance"
+  exit 1
+}
+echo "trace smoke passed"

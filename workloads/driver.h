@@ -152,6 +152,11 @@ double run_worker_pool(Tm& tm, unsigned threads, PinMode pin, Body&& body) {
     workers.emplace_back([&, tid] {
       pin_current_thread(pin, tid);
       typename Tm::ThreadCtx ctx(tm);
+      // Register this worker's counters with the active metrics sampler (a
+      // no-op when --timeline is off). Constructed after ctx so it
+      // unregisters — folding the final counts into the sampler's retired
+      // accumulator — before the stats it points at are destroyed.
+      timeseries::ScopedStatsSource ts_source(&ctx.stats);
       Xoshiro256 rng(driver_thread_seed(tid));
       while (!go.load(std::memory_order_acquire)) {
         detail::cpu_relax();

@@ -133,6 +133,9 @@ OpenLoopResult run_open_loop(Tm& tm, const OpenLoopOptions& opt, Service&& servi
     // clock). head==tail means empty; occupancy is kept <= cap.
     std::vector<std::uint64_t> pending(cap + 1);
     std::size_t head = 0, tail = 0, occupancy = 0;
+    // Admission-queue depth for the metrics sampler's timeline (no-op when
+    // --timeline is off); refreshed after each admit sweep / service batch.
+    timeseries::ScopedDepthGauge depth_gauge;
     const auto t0 = std::chrono::steady_clock::now();
     const auto now_ns = [&] {
       return static_cast<std::uint64_t>(
@@ -160,6 +163,7 @@ OpenLoopResult run_open_loop(Tm& tm, const OpenLoopOptions& opt, Service&& servi
         next_arrival += sampler.next_gap_ns(arrival_rng);
         if (next_arrival > run_ns) generating = false;
       }
+      depth_gauge.set(occupancy);
       if (now >= run_ns) generating = false;
       if (occupancy == 0) {
         if (!generating) break;  // window closed and queue drained: done
@@ -183,6 +187,7 @@ OpenLoopResult run_open_loop(Tm& tm, const OpenLoopOptions& opt, Service&& servi
         slot.latency.record(commit > arrival ? commit - arrival : 0);
       }
       occupancy -= k;
+      depth_gauge.set(occupancy);
       slot.completed += k;
     }
     slot.stats = ctx.stats;
