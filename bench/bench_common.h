@@ -52,6 +52,7 @@ struct Options {
   SubstrateKind substrate = SubstrateKind::kEmul;
   PinMode pin = PinMode::kNone;
   CmPolicy cm = CmPolicy::kFixed;
+  NumaMode numa = NumaMode::kOff;
   bool full = false;
 
   // Registry-driver flags (bench/run_all.cpp).
@@ -72,6 +73,7 @@ struct Options {
     std::fprintf(out,
                  "usage: %s [--seconds=S] [--threads=a,b,c] [--substrate=emul|sim|rtm]\n"
                  "          [--pin=none|compact|scatter] [--cm=fixed|adaptive|aggressive]\n"
+                 "          [--numa=off|shard|shard+clock]\n"
                  "          [--full] [--list] [--scenario=a,b] [--json-dir=DIR] [--no-json]\n"
                  "          [--trace=FILE[:CAP]] [--timeline=MS]\n"
                  "\n"
@@ -86,6 +88,9 @@ struct Options {
                  "  --cm=fixed|adaptive|aggressive\n"
                  "                       contention-management policy (core/contention.h;\n"
                  "                       fixed = the paper's coins/budgets, the baseline)\n"
+                 "  --numa=off|shard|shard+clock\n"
+                 "                       NUMA geometry (core/topology.h): socket-sharded\n"
+                 "                       stripe tables, +clock adds per-socket clock caches\n"
                  "  --full               paper-scale sizes and 1 s points\n"
                  "  --list               list registered scenarios and exit\n"
                  "  --scenario=a,b       run only scenarios whose name contains a token\n"
@@ -149,6 +154,10 @@ struct Options {
         if (!parse_cm_policy(arg.c_str() + 5, &opt.cm)) {
           die("unknown contention policy in", arg);
         }
+      } else if (arg.rfind("--numa=", 0) == 0) {
+        if (!parse_numa_mode(arg.c_str() + 7, &opt.numa)) {
+          die("unknown numa mode in", arg);
+        }
       } else if (arg == "--full") {
         opt.full = true;
         opt.seconds = 1.0;
@@ -204,6 +213,7 @@ struct Options {
 
   [[nodiscard]] const char* substrate_name() const { return to_string(substrate); }
   [[nodiscard]] const char* cm_name() const { return to_string(cm); }
+  [[nodiscard]] const char* numa_name() const { return to_string(numa); }
 };
 
 /// UniverseConfig seeded from the global bench options (the contention-
@@ -213,6 +223,7 @@ struct Options {
   UniverseConfig cfg;
   cfg.cm.policy = opt.cm;
   cfg.tracer = opt.tracer;
+  cfg.numa = opt.numa;
   return cfg;
 }
 
@@ -268,6 +279,9 @@ inline void stamp_provenance(report::BenchReport& rep) {
   }
 #endif
   rep.set_meta("substrates", substrate_availability());
+  const Topology& topo = Topology::system();
+  rep.set_meta("sockets", std::to_string(topo.socket_count()) +
+                              (topo.discovered() ? "" : " (fallback)"));
 }
 
 /// Carries the substrate type through the generic dispatch lambda:

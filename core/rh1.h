@@ -156,6 +156,7 @@ class HybridTm {
         fast_commit_stamp(t, ctx.fast_written_, &fast_wv);
       });
       if (out.ok()) {
+        if (!ctx.fast_written_.empty()) u_.clock().note_hw_commit();
         if (durable && !ctx.fast_written_.empty()) {
           durable_publish(ctx.fast_redo_, ctx.fast_written_.items(), fast_wv,
                           pmem::kPathRh1Fast, ctx.trace_);
@@ -192,7 +193,7 @@ class HybridTm {
       }
     }
     const TmWord wv = t.load(u_.clock().cell()) + 1;
-    if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
+    if (u_.clock().hw_writes_clock()) t.store(u_.clock().cell(), wv);
     const TmWord stamp = u_.durable()
                              ? (StripeTable::make_word(wv) | StripeTable::kLockBit)
                              : StripeTable::make_word(wv);
@@ -263,6 +264,7 @@ class HybridTm {
         ctx.stats.count_abort(a.cause);
         trace::abort(ctx.trace_, a.cause);
         u_.clock().on_abort();
+        if (u_.clock().cached()) trace::clock_publish(ctx.trace_);
         ctx.cm_.backoff_software();
         continue;
       }
@@ -302,7 +304,7 @@ class HybridTm {
         }
         const bool check_masks = t.load(rh2_active_) != 0;
         const TmWord wv = t.load(u_.clock().cell()) + 1;
-        if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
+        if (u_.clock().hw_writes_clock()) t.store(u_.clock().cell(), wv);
         // Durable: stamp LOCKED inside the hardware transaction, so the
         // values published at _xend stay unreadable until durable_publish()
         // has persisted them and unlocked to wv (fine-grained fast-path
@@ -326,6 +328,7 @@ class HybridTm {
         wv_out = wv;
       });
       if (out.ok()) {
+        u_.clock().note_hw_commit();
         if (durable) {
           durable_publish(ctx.ws_.entries(), ctx.ws_.write_stripes(), wv_out,
                           pmem::kPathRh1, ctx.trace_);
@@ -360,7 +363,7 @@ class HybridTm {
       TmWord wv_out = 0;
       const HtmOutcome out = u_.htm().execute(ctx.tx_, [&](typename H::Tx& t) {
         const TmWord wv = t.load(u_.clock().cell()) + 1;
-        if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
+        if (u_.clock().hw_writes_clock()) t.store(u_.clock().cell(), wv);
         // Same durable discipline as the reduced commit: locked stamps in
         // hardware, persist + unlock after _xend.
         const TmWord stamped = durable
@@ -382,6 +385,7 @@ class HybridTm {
         wv_out = wv;
       });
       if (out.ok()) {
+        u_.clock().note_hw_commit();
         if (durable) {
           durable_publish(ctx.ws_.entries(), ctx.ws_.write_stripes(), wv_out,
                           pmem::kPathRh2, ctx.trace_);

@@ -29,6 +29,7 @@
 #include "core/tatas.h"
 #include "core/timeseries.h"
 #include "core/tl2.h"
+#include "core/topology.h"
 #include "core/trace.h"
 #include "core/trace_export.h"
 #include "core/universe.h"

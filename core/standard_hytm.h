@@ -108,6 +108,7 @@ class StandardHytm {
           publish_stamps(t, ctx.hw_written_);
         });
         if (out.ok()) {
+          if (!ctx.hw_written_.empty()) u_.clock().note_hw_commit();
           ctx.stats.count_commit(ExecPath::kHtm);
           trace::commit(ctx.trace_, ExecPath::kHtm);
           ctx.cm_.on_hardware_commit();
@@ -137,7 +138,7 @@ class StandardHytm {
   void publish_stamps(typename H::Tx& t, const StripeSet& written) {
     if (written.empty()) return;
     const TmWord wv = t.load(u_.clock().cell()) + 1;
-    if (u_.clock().mode() != GvMode::kGv6) t.store(u_.clock().cell(), wv);
+    if (u_.clock().hw_writes_clock()) t.store(u_.clock().cell(), wv);
     for (const std::uint32_t s : written.items()) {
       t.store(u_.stripes().word(s), StripeTable::make_word(wv));
     }

@@ -151,6 +151,7 @@ inline void tl2_software_commit(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws, TmW
     u.htm().nontx_publish(ws.entries());  // one atomic batch, not N racy stores
   }
   for (const std::uint32_t s : locked) st.unlock_to(s, wv);
+  u.clock().publish_home();  // cached-clock lazy propagation; no-op otherwise
 }
 
 /// Full TL2 transaction loop: retry until the body runs and commits. The
@@ -178,6 +179,7 @@ inline void tl2_run(TmUniverse<H>& u, ReadSet& rs, WriteSet& ws,
       stats.count_abort(a.cause);
       trace::abort(ring, a.cause);
       u.clock().on_abort();
+      if (u.clock().cached()) trace::clock_publish(ring);
       cm.backoff_software();
       continue;
     }

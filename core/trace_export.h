@@ -163,6 +163,12 @@ inline void name_cat(std::string& out, const std::string& name, const char* cat)
           out += ",\"s\":\"t\"}";
           break;
         }
+        case EventKind::kClockPublish: {
+          detail_export::begin_event(out, first, r.id(), "i", ts);
+          detail_export::name_cat(out, "clock_publish", "clock");
+          out += ",\"s\":\"t\"}";
+          break;
+        }
         case EventKind::kSwModeEnter:
         case EventKind::kSwModeExit:
         case EventKind::kSwModeProbe: {

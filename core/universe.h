@@ -41,14 +41,48 @@ struct UniverseConfig {
   /// (the default) disables tracing: the per-event cost collapses to one
   /// predictable null-check branch.
   trace::Tracer* tracer = nullptr;
+  /// NUMA geometry axis (core/topology.h; --numa bench flag). kOff keeps
+  /// the flat stripe table and plain clock bit-identical to the pre-NUMA
+  /// universe; kShard sockets-shards the stripe table (first-touch
+  /// allocated); kShardClock additionally enables the per-socket cached
+  /// version clock.
+  NumaMode numa = NumaMode::kOff;
+  /// Topology override for tests/benches; null resolves to
+  /// Topology::system(). Non-owning — must outlive the universe.
+  const Topology* topology = nullptr;
 };
+
+/// The topology a universe built from `cfg` operates over.
+[[nodiscard]] inline const Topology& resolve_topology(const UniverseConfig& cfg) {
+  return cfg.topology != nullptr ? *cfg.topology : Topology::system();
+}
+
+namespace detail {
+/// Derives the stripe-table shard geometry from the numa mode: per-socket
+/// shards (StripeTable rounds up to a power of two) when sharding is on,
+/// the flat table otherwise.
+[[nodiscard]] inline StripeConfig sharded_stripe_config(const UniverseConfig& cfg) {
+  StripeConfig sc = cfg.stripe;
+  if (cfg.numa != NumaMode::kOff) {
+    const Topology& topo = resolve_topology(cfg);
+    sc.shards = topo.socket_count();
+    sc.topology = &topo;
+  }
+  return sc;
+}
+}  // namespace detail
 
 template <class H>
 class TmUniverse {
  public:
   TmUniverse() : TmUniverse(UniverseConfig{}) {}
   explicit TmUniverse(const UniverseConfig& cfg)
-      : cfg_(cfg), htm_(cfg.htm), stripes_(cfg.stripe), clock_(cfg.gv_mode) {
+      : cfg_(cfg),
+        topo_(&resolve_topology(cfg)),
+        htm_(cfg.htm),
+        stripes_(detail::sharded_stripe_config(cfg)),
+        clock_(cfg.gv_mode,
+               cfg.numa == NumaMode::kShardClock ? topo_ : nullptr) {
     if (cfg_.durable) pmem_ = std::make_unique<PersistentDomain>(cfg_.pmem);
   }
 
@@ -66,6 +100,11 @@ class TmUniverse {
   /// The persistent domain; only valid when durable().
   [[nodiscard]] PersistentDomain& pmem() { return *pmem_; }
 
+  /// The NUMA geometry axis this universe was built with.
+  [[nodiscard]] NumaMode numa() const { return cfg_.numa; }
+  /// The resolved topology (config override or Topology::system()).
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
   /// The flight recorder, or null when tracing is off.
   [[nodiscard]] trace::Tracer* tracer() const { return cfg_.tracer; }
   /// A fresh per-thread trace ring, or null when tracing is off (or the
@@ -76,6 +115,7 @@ class TmUniverse {
 
  private:
   UniverseConfig cfg_;
+  const Topology* topo_;
   H htm_;
   StripeTable stripes_;
   GlobalVersionClock clock_;

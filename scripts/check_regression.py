@@ -58,6 +58,7 @@ GATED_LOWER_IS_BETTER = {
     "p999_us",
     "fences_per_commit",
     "wasted_speculation_pct",
+    "cross_socket_penalty",
 }
 
 
@@ -543,6 +544,68 @@ def self_test():
         assert len(regressions) == 2, regressions
         assert all(
             r[1] == "contention wasted_speculation_pct table" for r in regressions
+        ), regressions
+        assert "[lower-is-better]" in log.getvalue(), log.getvalue()
+
+        # cross_socket_penalty gating: the numa scenario's compact/scatter
+        # placement-penalty tables are lower-is-better — RH1's cross-socket
+        # penalty growing relative to TL2's must FAIL; shrinking (RH1 got
+        # MORE placement-robust) must PASS, the exact inversion of the
+        # throughput direction.
+        def numa_report(pen_rh1, pen_tl2, ops_rh1=300, ops_tl2=100):
+            def tbl(metric, rh1, tl2):
+                return {
+                    "title": f"numa {metric} table",
+                    "style": "sweep",
+                    "x": "threads",
+                    "primary_metric": metric,
+                    "series": [
+                        {
+                            "name": name,
+                            "points": [
+                                {"x": t, "metrics": {metric: v * t}} for t in (1, 2)
+                            ],
+                        }
+                        for name, v in (("RH1-Fast", rh1), ("TL2", tl2))
+                    ],
+                }
+
+            return {
+                "schema": "rhtm-bench-report/v1",
+                "scenario": "numa",
+                "substrate": "sim",
+                "tables": [
+                    tbl("cross_socket_penalty", pen_rh1, pen_tl2),
+                    tbl("total_ops", ops_rh1, ops_tl2),
+                ],
+            }
+
+        numa_old = os.path.join(tmp, "numa_old")
+        numa_ok = os.path.join(tmp, "numa_ok")
+        numa_bad = os.path.join(tmp, "numa_bad")
+        for d in (numa_old, numa_ok, numa_bad):
+            os.mkdir(d)
+
+        def write_numa(dirname, rep):
+            with open(os.path.join(dirname, "BENCH_numa.json"), "w") as f:
+                json.dump(rep, f)
+
+        # Baseline: RH1 and TL2 pay the same placement penalty (ratio 1.0);
+        # "ok" halves RH1's penalty, "bad" doubles it relative to TL2.
+        write_numa(numa_old, numa_report(pen_rh1=2, pen_tl2=2))
+        write_numa(numa_ok, numa_report(pen_rh1=1, pen_tl2=2))
+        write_numa(numa_bad, numa_report(pen_rh1=4, pen_tl2=2))
+
+        compared, regressions = compare(numa_old, numa_ok, "RH1-Fast", "TL2", 0.25, sink)
+        assert compared == 4, compared
+        assert not regressions, regressions
+
+        log = io.StringIO()
+        compared, regressions = compare(numa_old, numa_bad, "RH1-Fast", "TL2", 0.25, log)
+        assert compared == 4, compared
+        assert len(regressions) == 2, regressions
+        assert all(
+            r[1] == "numa cross_socket_penalty table" for r in regressions
         ), regressions
         assert "[lower-is-better]" in log.getvalue(), log.getvalue()
 

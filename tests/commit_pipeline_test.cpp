@@ -21,16 +21,28 @@ std::uint64_t commits_on(const TxStats& s, ExecPath p) {
   return s.commits_by_path[static_cast<std::size_t>(p)];
 }
 
+/// Every test below runs twice: numa=off (flat stripe table, the historical
+/// layout) and numa=shard (per-socket shards behind the same façade). The
+/// pipeline observables — commit path, footprint, mask hygiene — must be
+/// identical, because sharding only relocates storage; it never changes a
+/// lock or validation decision.
+UniverseConfig with_numa(UniverseConfig ucfg, NumaMode mode) {
+  static const Topology topo = Topology::fake({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  ucfg.numa = mode;
+  ucfg.topology = &topo;
+  return ucfg;
+}
+
 /// One TL2 transaction reading 20k cells and writing 40k more. Under the
 /// old per-entry `is_self` linear scan this commit was O(W x locked) ~ 1e9
 /// stripe compares (seconds of wall clock); deduped + sorted it is O(W log
 /// W). The suite-level observable is this test finishing instantly.
-void large_write_set_tl2_commit() {
+void large_write_set_tl2_commit(NumaMode numa) {
   constexpr std::size_t kReads = 20000;
   constexpr std::size_t kWrites = 40000;
   UniverseConfig ucfg;
   ucfg.stripe.granularity_log2 = 3;  // 1 word per stripe: maximal lock count
-  TmUniverse<HtmSim> u(ucfg);
+  TmUniverse<HtmSim> u(with_numa(ucfg, numa));
   Tl2<HtmSim> tm(u);
   Tl2<HtmSim>::ThreadCtx ctx(tm);
 
@@ -57,12 +69,12 @@ void large_write_set_tl2_commit() {
 /// the raw read count (2400) dwarfs the distinct stripe count (<= 8). The
 /// reduced commit must fit the 64-entry hardware budget — under the old
 /// duplicate-logging ReadSet it overflowed and escalated to RH2.
-void reduced_commit_footprint_is_distinct_stripes() {
+void reduced_commit_footprint_is_distinct_stripes(NumaMode numa) {
   UniverseConfig ucfg;
   ucfg.htm.max_read_set = 64;
   ucfg.htm.max_write_set = 64;
   ucfg.htm.line_shift = 3;
-  TmUniverse<HtmEmul> u(ucfg);
+  TmUniverse<HtmEmul> u(with_numa(ucfg, numa));
   HybridTm<HtmEmul>::Config cfg;
   cfg.force_slow_path = true;  // software body + reduced hardware commit
   HybridTm<HtmEmul> tm(u, cfg);
@@ -87,12 +99,12 @@ void reduced_commit_footprint_is_distinct_stripes() {
 /// Same shape under the simulator's real distinct-line accounting: the
 /// transaction commits on the RH1-slow tier and the published values are
 /// correct (the reduced commit stamped each unique stripe exactly once).
-void reduced_commit_dedup_sim() {
+void reduced_commit_dedup_sim(NumaMode numa) {
   UniverseConfig ucfg;
   ucfg.htm.max_read_set = 64;
   ucfg.htm.max_write_set = 64;
   ucfg.htm.line_shift = 3;
-  TmUniverse<HtmSim> u(ucfg);
+  TmUniverse<HtmSim> u(with_numa(ucfg, numa));
   HybridTm<HtmSim>::Config cfg;
   cfg.force_slow_path = true;
   HybridTm<HtmSim> tm(u, cfg);
@@ -114,13 +126,13 @@ void reduced_commit_dedup_sim() {
 /// RH2 whose write-set-only hardware commit overflows: the all-software
 /// slow-slow commit must admit the transaction's own published read masks
 /// (via the O(1) self-mask set), commit, and unpublish every mask.
-void rh2_slow_slow_respects_own_masks() {
+void rh2_slow_slow_respects_own_masks(NumaMode numa) {
   constexpr std::size_t kCells = 4000;
   UniverseConfig ucfg;
   ucfg.htm.max_read_set = 64;
   ucfg.htm.max_write_set = 64;
   ucfg.htm.line_shift = 3;
-  TmUniverse<HtmSim> u(ucfg);
+  TmUniverse<HtmSim> u(with_numa(ucfg, numa));
   HybridTm<HtmSim>::Config cfg;
   cfg.force_rh2 = true;
   HybridTm<HtmSim> tm(u, cfg);
@@ -149,11 +161,23 @@ void rh2_slow_slow_respects_own_masks() {
 
 int main() {
   using rhtm::test::TestCase;
+  using rhtm::NumaMode;
   return rhtm::test::run_tests({
-      TestCase{"large_write_set_tl2_commit", rhtm::large_write_set_tl2_commit},
+      TestCase{"large_write_set_tl2_commit",
+               [] { rhtm::large_write_set_tl2_commit(NumaMode::kOff); }},
+      TestCase{"large_write_set_tl2_commit_numa_shard",
+               [] { rhtm::large_write_set_tl2_commit(NumaMode::kShard); }},
       TestCase{"reduced_commit_footprint_is_distinct_stripes",
-               rhtm::reduced_commit_footprint_is_distinct_stripes},
-      TestCase{"reduced_commit_dedup_sim", rhtm::reduced_commit_dedup_sim},
-      TestCase{"rh2_slow_slow_respects_own_masks", rhtm::rh2_slow_slow_respects_own_masks},
+               [] { rhtm::reduced_commit_footprint_is_distinct_stripes(NumaMode::kOff); }},
+      TestCase{"reduced_commit_footprint_is_distinct_stripes_numa_shard",
+               [] { rhtm::reduced_commit_footprint_is_distinct_stripes(NumaMode::kShard); }},
+      TestCase{"reduced_commit_dedup_sim",
+               [] { rhtm::reduced_commit_dedup_sim(NumaMode::kOff); }},
+      TestCase{"reduced_commit_dedup_sim_numa_shard",
+               [] { rhtm::reduced_commit_dedup_sim(NumaMode::kShard); }},
+      TestCase{"rh2_slow_slow_respects_own_masks",
+               [] { rhtm::rh2_slow_slow_respects_own_masks(NumaMode::kOff); }},
+      TestCase{"rh2_slow_slow_respects_own_masks_numa_shard",
+               [] { rhtm::rh2_slow_slow_respects_own_masks(NumaMode::kShard); }},
   });
 }

@@ -26,7 +26,7 @@ bench::Options tiny_options() {
 
 void test_registry_contents() {
   const auto scenarios = bench::Registry::instance().sorted();
-  CHECK(scenarios.size() >= 23);
+  CHECK(scenarios.size() >= 24);
   std::set<std::string> names;
   for (const bench::Scenario& s : scenarios) {
     CHECK(s.name != nullptr && s.paper_ref != nullptr && s.summary != nullptr);
@@ -38,7 +38,7 @@ void test_registry_contents() {
         "fig3_sortedlist", "fig3_randomarray", "ext_hybrids", "ablation_clock",
         "ablation_stripes", "ablation_capacity", "ablation_readmask", "ablation_policy",
         "micro_htm", "micro_barriers", "skiplist", "zipfian_mix", "mutating_tree", "queue",
-        "phased", "commit_path", "service", "durable", "contention"}) {
+        "phased", "commit_path", "service", "durable", "contention", "numa"}) {
     CHECK(names.count(required) == 1);
   }
 }

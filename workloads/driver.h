@@ -25,15 +25,16 @@ namespace rhtm {
 
 // ------------------------------------------------------------ thread pinning --
 
-/// Thread-affinity policy for the measurement drivers (the first concrete
-/// step on the NUMA/topology roadmap item):
+/// Thread-affinity policy for the measurement drivers:
 ///  * none    — leave placement to the OS scheduler (the default).
-///  * compact — thread t on CPU t mod N: fill adjacent CPUs first, so small
-///              thread counts stay on one socket/complex.
-///  * scatter — alternate threads between the lower and upper half of the
-///              CPU id space (t=0 -> 0, t=1 -> ceil(N/2), t=2 -> 1, ...):
-///              spread across sockets first on the common
-///              contiguous-per-socket numbering.
+///  * compact — fill one socket's CPUs before moving to the next
+///              (Topology::compact_cpu when discovery succeeds).
+///  * scatter — round-robin across sockets first (Topology::scatter_cpu):
+///              thread t lands on socket t % socket_count, agreeing with
+///              the stripe-shard home-socket rule in core/stripe.h.
+/// When topology discovery falls back to single-node, both modes degrade
+/// to the index-striding pin_cpu_for below (scatter warns once — on an SMT
+/// box the naive stride interleaves hyperthread siblings, not sockets).
 enum class PinMode : std::uint8_t { kNone, kCompact, kScatter };
 
 [[nodiscard]] constexpr const char* to_string(PinMode m) {
@@ -71,9 +72,13 @@ enum class PinMode : std::uint8_t { kNone, kCompact, kScatter };
   return t;  // compact (and the don't-care value for none)
 }
 
-/// Pins the calling thread per `mode`. The pin_cpu_for index selects into
-/// the CPUs this process is actually *allowed* to run on
-/// (sched_getaffinity), not into [0, N) — so pinning works under taskset /
+/// Pins the calling thread per `mode`. With a discovered topology the
+/// target is the topology-derived absolute CPU (compact_cpu / scatter_cpu)
+/// whenever that CPU is in this process's allowed set — so pinning and
+/// stripe sharding agree on socket geometry. Otherwise (single-node
+/// fallback, taskset masks excluding the target) the pin_cpu_for index
+/// selects into the CPUs this process is actually *allowed* to run on
+/// (sched_getaffinity), not into [0, N) — so pinning still works under
 /// container cpusets whose masks do not start at CPU 0. Where unsupported
 /// (non-Linux builds, or a failing affinity syscall) it warns once per
 /// process and becomes a no-op — measurements still run, just unpinned.
@@ -101,9 +106,25 @@ inline void pin_current_thread(PinMode mode, unsigned tid) {
     warn_once("empty affinity mask");
     return;
   }
+  const Topology& topo = Topology::system();
+  if (mode == PinMode::kScatter && !topo.discovered()) {
+    static std::atomic<bool> warned_fallback{false};
+    if (!warned_fallback.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "warning: --pin=scatter without discovered NUMA topology; "
+                   "falling back to index striding (hyperthread siblings may "
+                   "interleave before sockets fill)\n");
+    }
+  }
+  unsigned target = cpus[pin_cpu_for(mode, tid, static_cast<unsigned>(cpus.size()))];
+  if (topo.discovered()) {
+    const unsigned want =
+        mode == PinMode::kScatter ? topo.scatter_cpu(tid) : topo.compact_cpu(tid);
+    if (want < CPU_SETSIZE && CPU_ISSET(want, &allowed)) target = want;
+  }
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(cpus[pin_cpu_for(mode, tid, static_cast<unsigned>(cpus.size()))], &set);
+  CPU_SET(target, &set);
   if (pthread_setaffinity_np(pthread_self(), sizeof set, &set) != 0) {
     warn_once("pthread_setaffinity_np failed");
   }
